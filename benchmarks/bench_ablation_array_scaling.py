@@ -1,0 +1,53 @@
+"""Ablation: scaling out the *array* of coupled SSD+HDD pairs.
+
+The paper's title promises an array of storage elements; the prototype
+evaluates one.  This sweep stripes the same TPC-C workload over 1, 2
+and 4 I-CASH elements and measures the aggregate-throughput scaling of
+the composition — each element runs its own Heatmap, reference store
+and delta log.
+"""
+
+from dataclasses import replace
+
+from repro.core import ICASHConfig
+from repro.core.array import ICASHArray
+from repro.experiments.runner import run_benchmark
+from repro.workloads import TPCCWorkload
+
+ELEMENT_COUNTS = (1, 2, 4)
+
+
+def element_config(workload, n_elements: int) -> ICASHConfig:
+    per_element_blocks = workload.n_blocks // n_elements
+    return ICASHConfig(
+        ssd_capacity_blocks=max(64, per_element_blocks // 10),
+        data_ram_bytes=max(1 << 19, per_element_blocks * 4096 // 4),
+        delta_ram_bytes=max(1 << 19, per_element_blocks * 4096 // 2),
+        max_virtual_blocks=max(8192, 2 * per_element_blocks),
+        log_blocks=max(4096, per_element_blocks),
+        scan_interval=500)
+
+
+def run_with_elements(n_elements: int):
+    workload = TPCCWorkload(n_requests=6000)
+    array = ICASHArray(workload.build_dataset(), n_elements=n_elements,
+                       chunk_blocks=64,
+                       config=element_config(workload, n_elements))
+    return run_benchmark(workload, array, warmup_fraction=0.4)
+
+
+def test_ablation_array_scaling(benchmark):
+    def sweep():
+        return {n: run_with_elements(n) for n in ELEMENT_COUNTS}
+
+    outcomes = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\nAblation: I-CASH array width (TPC-C)")
+    print(f"{'elements':>8} {'tx/s':>9} {'read_us':>9} {'write_us':>9}")
+    for n, result in outcomes.items():
+        print(f"{n:>8} {result.transactions_per_s:>9.1f} "
+              f"{result.read_mean_us:>9.1f} {result.write_mean_us:>9.1f}")
+        benchmark.extra_info[f"tx_{n}"] = round(
+            result.transactions_per_s, 1)
+    # More elements must never hurt and spanning requests should gain.
+    assert outcomes[4].transactions_per_s \
+        >= 0.9 * outcomes[1].transactions_per_s

@@ -1,0 +1,43 @@
+"""Ablation: the 2,048-byte delta spill threshold (Section 5.3).
+
+Small thresholds spill aggressively (more SSD writes, less delta
+machinery); huge thresholds keep even near-full-block deltas in RAM
+segments (bloated pool, decompression on fat deltas).  The paper's
+2,048 B sits where SSD writes are low and reads stay fast.
+"""
+
+from dataclasses import replace
+
+from repro.experiments.runner import run_benchmark
+from repro.experiments.systems import make_icash_config
+from repro.core import ICASHController
+from repro.workloads import SpecSFSWorkload
+
+THRESHOLDS = (512, 1024, 2048, 3072, 4000)
+
+
+def run_with_threshold(threshold: int):
+    workload = SpecSFSWorkload(n_requests=6000)
+    config = replace(make_icash_config(workload),
+                     delta_spill_bytes=threshold,
+                     delta_accept_bytes=min(threshold, 2048))
+    system = ICASHController(workload.build_dataset(), config)
+    return run_benchmark(workload, system, warmup_fraction=0.4)
+
+
+def test_ablation_delta_threshold(benchmark):
+    def sweep():
+        return {t: run_with_threshold(t) for t in THRESHOLDS}
+
+    outcomes = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\nAblation: delta spill threshold (SPEC-sfs, write heavy)")
+    print(f"{'threshold':>9} {'write_us':>9} {'ssd_writes':>10} "
+          f"{'spills':>8}")
+    for threshold, result in outcomes.items():
+        spills = result.counters.get("delta_spills", 0)
+        print(f"{threshold:>9} {result.write_mean_us:>9.1f} "
+              f"{result.ssd_write_ops:>10} {spills:>8}")
+        benchmark.extra_info[f"ssd_writes_{threshold}"] = \
+            result.ssd_write_ops
+    # Aggressive spilling must cost more SSD writes than the default.
+    assert outcomes[512].ssd_write_ops >= outcomes[2048].ssd_write_ops

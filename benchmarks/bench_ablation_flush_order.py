@@ -1,0 +1,52 @@
+"""Ablation: delta-block packing order — arrival vs address.
+
+Section 3.1's first case: "I-CASH can pack deltas of all sequential
+I/Os into one delta block.  Upon read operations of these sequential
+data blocks, one HDD operation serves all the I/O requests in the
+sequence."  Arrival-order packing realises exactly that; address-order
+packing favours spatially clustered re-access instead.  The sweep
+measures how many sibling deltas each log fetch hydrates under both
+policies, on a workload with sequential bursts (Hadoop-style).
+"""
+
+from dataclasses import replace
+
+from repro.core import ICASHController
+from repro.experiments.runner import run_benchmark
+from repro.experiments.systems import make_icash_config
+from repro.workloads import HadoopWorkload
+
+
+def run_with_order(order: str):
+    workload = HadoopWorkload(n_requests=5000)
+    config = replace(make_icash_config(workload),
+                     flush_order=order,
+                     # A small pool forces deltas through the log so the
+                     # hydration behaviour is actually exercised.
+                     delta_ram_bytes=1 << 20)
+    system = ICASHController(workload.build_dataset(), config)
+    result = run_benchmark(workload, system, warmup_fraction=0.4)
+    fetches = result.counters.get("log_delta_fetches", 0)
+    hydrations = result.counters.get("delta_hydrations", 0)
+    return result, fetches, hydrations
+
+
+def test_ablation_flush_order(benchmark):
+    def sweep():
+        return {order: run_with_order(order)
+                for order in ("arrival", "lba")}
+
+    outcomes = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\nAblation: delta packing order (Hadoop, small delta pool)")
+    print(f"{'order':>8} {'read_us':>9} {'log_fetches':>11} "
+          f"{'hydrated/fetch':>14}")
+    for order, (result, fetches, hydrations) in outcomes.items():
+        per_fetch = hydrations / fetches if fetches else 0.0
+        print(f"{order:>8} {result.read_mean_us:>9.1f} {fetches:>11} "
+              f"{per_fetch:>14.2f}")
+        benchmark.extra_info[f"hydrated_per_fetch_{order}"] = round(
+            per_fetch, 2)
+    # Both policies must stay correct and produce hydration; which wins
+    # is workload dependent, so assert only sanity here.
+    for order, (result, fetches, hydrations) in outcomes.items():
+        assert result.read_mean_us > 0

@@ -1,0 +1,56 @@
+"""Ablation: software (host CPU) vs hardware (embedded) implementation.
+
+Section 3.2 describes both bodies for the same architecture; the
+conclusion names the hardware prototype as future work.  The tradeoff
+this sweep exposes: the embedded core decodes slower (higher read
+latency) but the host CPU is completely freed — storage computation no
+longer competes with the application at all.
+"""
+
+from repro.core.embedded import EmbeddedICASHController, EmbeddedSpec
+from repro.experiments.breakdown import (read_breakdown,
+                                         semiconductor_fraction)
+from repro.experiments.runner import run_benchmark
+from repro.experiments.systems import make_icash_config, make_system
+from repro.workloads import SysBenchWorkload
+
+
+def run_software():
+    workload = SysBenchWorkload(n_requests=8000)
+    system = make_system("icash", workload)
+    return run_benchmark(workload, system, warmup_fraction=0.4), system
+
+
+def run_hardware(slowdown: float):
+    workload = SysBenchWorkload(n_requests=8000)
+    system = EmbeddedICASHController(
+        workload.build_dataset(), make_icash_config(workload),
+        embedded=EmbeddedSpec(codec_slowdown=slowdown))
+    return run_benchmark(workload, system, warmup_fraction=0.4), system
+
+
+def test_ablation_hw_implementation(benchmark):
+    def sweep():
+        out = {"software": run_software()}
+        for slowdown in (1.5, 2.5, 4.0):
+            out[f"hw(x{slowdown})"] = run_hardware(slowdown)
+        return out
+
+    outcomes = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\nAblation: implementation body (SysBench)")
+    print(f"{'variant':>10} {'tx/s':>9} {'read_us':>9} "
+          f"{'host_cpu_s':>10} {'semiconductor':>13}")
+    for variant, (result, system) in outcomes.items():
+        semi = semiconductor_fraction(system)
+        print(f"{variant:>10} {result.transactions_per_s:>9.1f} "
+              f"{result.read_mean_us:>9.1f} {result.storage_cpu_s:>10.4f} "
+              f"{semi:>13.1%}")
+        benchmark.extra_info[f"read_us_{variant}"] = round(
+            result.read_mean_us, 1)
+    sw = outcomes["software"][0]
+    hw = outcomes["hw(x2.5)"][0]
+    # The tradeoff both ways: hardware frees the host CPU entirely...
+    assert hw.storage_cpu_s == 0.0
+    assert sw.storage_cpu_s > 0.0
+    # ...while its slower codec costs read latency.
+    assert hw.read_mean_us >= sw.read_mean_us

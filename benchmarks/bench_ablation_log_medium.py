@@ -1,0 +1,47 @@
+"""Ablation: delta-log medium — HDD region vs byte-addressable NVRAM.
+
+Section 2.1 cites Sun et al.'s PRAM log region; this sweep quantifies
+what an NVRAM delta log buys I-CASH: near-free flushes (the crash-loss
+window can shrink to per-write persistence) at identical read-path
+behaviour.
+"""
+
+from dataclasses import replace
+
+from repro.core import ICASHController
+from repro.experiments.runner import run_benchmark
+from repro.experiments.systems import make_icash_config
+from repro.workloads import SpecSFSWorkload
+
+
+def run_with_log(on_nvram: bool, flush_interval: int):
+    workload = SpecSFSWorkload(n_requests=6000)
+    config = replace(make_icash_config(workload),
+                     log_on_nvram=on_nvram,
+                     flush_interval=flush_interval)
+    system = ICASHController(workload.build_dataset(), config)
+    result = run_benchmark(workload, system, warmup_fraction=0.4)
+    return result, system
+
+
+def test_ablation_log_medium(benchmark):
+    def sweep():
+        out = {}
+        for medium, on_nvram in (("hdd", False), ("nvram", True)):
+            for interval in (64, 1024):
+                out[(medium, interval)] = run_with_log(on_nvram, interval)
+        return out
+
+    outcomes = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\nAblation: delta-log medium x flush interval (SPEC-sfs)")
+    print(f"{'medium':>7} {'interval':>9} {'write_us':>9} "
+          f"{'background_s':>12}")
+    for (medium, interval), (result, _system) in outcomes.items():
+        print(f"{medium:>7} {interval:>9} {result.write_mean_us:>9.1f} "
+              f"{result.background_s:>12.4f}")
+        benchmark.extra_info[f"bg_{medium}_{interval}"] = round(
+            result.background_s, 4)
+    # Aggressive flushing is near-free on NVRAM but costs HDD busy time.
+    hdd_aggr = outcomes[("hdd", 64)][0].background_s
+    nvram_aggr = outcomes[("nvram", 64)][0].background_s
+    assert nvram_aggr < hdd_aggr

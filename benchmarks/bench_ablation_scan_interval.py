@@ -1,0 +1,47 @@
+"""Ablation: similarity-scan interval (the paper's 2,000-I/O choice).
+
+Sweeps how often the scan runs.  Too rare and blocks leave RAM before
+they can be associated (fewer delta hits, more HDD misses); too frequent
+and CPU time goes up for no extra coverage.
+"""
+
+from dataclasses import replace
+
+from repro.experiments.runner import run_benchmark
+from repro.experiments.systems import make_icash_config
+from repro.core import ICASHController
+from repro.workloads import SysBenchWorkload
+
+INTERVALS = (125, 250, 500, 1000, 2000, 4000)
+
+
+def run_with_interval(interval: int):
+    workload = SysBenchWorkload(n_requests=8000)
+    config = replace(make_icash_config(workload), scan_interval=interval)
+    system = ICASHController(workload.build_dataset(), config)
+    # No ingest: this ablation isolates what the *online* scan achieves.
+    result = run_benchmark(workload, system, preload=False,
+                           warmup_fraction=0.4)
+    counts = system.block_kind_counts()
+    return result, counts
+
+
+def test_ablation_scan_interval(benchmark):
+    def sweep():
+        return {interval: run_with_interval(interval)
+                for interval in INTERVALS}
+
+    outcomes = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\nAblation: scan interval (online-only, no ingest)")
+    print(f"{'interval':>9} {'tx/s':>9} {'read_us':>9} "
+          f"{'associates':>10} {'scan_cpu_s':>10}")
+    coverage = {}
+    for interval, (result, counts) in outcomes.items():
+        print(f"{interval:>9} {result.transactions_per_s:>9.1f} "
+              f"{result.read_mean_us:>9.1f} {counts['associate']:>10} "
+              f"{result.storage_cpu_s:>10.4f}")
+        coverage[interval] = counts["associate"] + counts["reference"]
+        benchmark.extra_info[f"tx_{interval}"] = round(
+            result.transactions_per_s, 1)
+    # More frequent scans must not *reduce* structure coverage.
+    assert coverage[250] >= coverage[4000] * 0.8

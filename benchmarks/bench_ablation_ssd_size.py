@@ -1,0 +1,46 @@
+"""Ablation: SSD provisioning (the paper's one-tenth rule).
+
+Sweeps the reference-store budget from 2.5% to 40% of the data set on
+SysBench.  The paper's observation — I-CASH needs only a small fraction
+of the data set in flash because references anchor many associates —
+shows up as rapidly diminishing returns past ~10%.
+"""
+
+from dataclasses import replace
+
+from repro.experiments.runner import run_benchmark
+from repro.experiments.systems import make_icash_config
+from repro.core import ICASHController
+from repro.workloads import SysBenchWorkload
+
+FRACTIONS = (0.025, 0.05, 0.10, 0.20, 0.40)
+
+
+def run_with_budget(fraction: float):
+    workload = SysBenchWorkload(n_requests=8000)
+    blocks = max(64, int(workload.n_blocks * fraction))
+    config = replace(make_icash_config(workload),
+                     ssd_capacity_blocks=blocks)
+    system = ICASHController(workload.build_dataset(), config)
+    return run_benchmark(workload, system, warmup_fraction=0.4)
+
+
+def test_ablation_ssd_size(benchmark):
+    def sweep():
+        return {f: run_with_budget(f) for f in FRACTIONS}
+
+    outcomes = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\nAblation: SSD reference-store budget (SysBench)")
+    print(f"{'fraction':>8} {'tx/s':>9} {'read_us':>9}")
+    for fraction, result in outcomes.items():
+        print(f"{fraction:>8.3f} {result.transactions_per_s:>9.1f} "
+              f"{result.read_mean_us:>9.1f}")
+        benchmark.extra_info[f"tx_{fraction}"] = round(
+            result.transactions_per_s, 1)
+    # Throughput grows with budget, then saturates: 40% gains little
+    # over 10% compared with what 10% gains over 2.5%.
+    t = {f: outcomes[f].transactions_per_s for f in FRACTIONS}
+    assert t[0.10] >= t[0.025]
+    gain_low = t[0.10] - t[0.025]
+    gain_high = t[0.40] - t[0.10]
+    assert gain_high <= max(gain_low, 0.15 * t[0.10])

@@ -1,0 +1,16 @@
+"""Figure 7: SysBench block-level read/write response times."""
+
+from repro.experiments import figures
+
+from conftest import report_figure
+
+
+def test_fig7_sysbench_response_times(benchmark):
+    read, write = benchmark.pedantic(figures.figure7,
+                                     rounds=1, iterations=1)
+    report_figure(benchmark, read, min_shape=0.6)
+    print()
+    print(write.render())
+    assert write.shape_score() >= 0.6
+    # The paper's standout: I-CASH writes are ~10x faster than pure SSD.
+    assert write.measured["icash"] * 5 < write.measured["fusion-io"]

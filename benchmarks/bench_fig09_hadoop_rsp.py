@@ -1,0 +1,17 @@
+"""Figure 9: Hadoop block-level read/write response times."""
+
+from repro.experiments import figures
+
+from conftest import report_figure
+
+
+def test_fig9_hadoop_response_times(benchmark):
+    read, write = benchmark.pedantic(figures.figure9,
+                                     rounds=1, iterations=1)
+    report_figure(benchmark, read, min_shape=0.5)
+    print()
+    print(write.render())
+    assert write.shape_score() >= 0.5
+    # Figure 9's standout: I-CASH writes ~12x faster than the pure-SSD
+    # baseline (586 µs vs 7301 µs in the paper).
+    assert write.measured["icash"] * 5 < write.measured["fusion-io"]

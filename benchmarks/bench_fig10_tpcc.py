@@ -1,0 +1,20 @@
+"""Figure 10: TPC-C transaction rate and CPU utilisation."""
+
+from repro.experiments import figures
+
+from conftest import run_figure
+
+
+def test_fig10a_tpcc_transaction_rate(benchmark):
+    result = run_figure(benchmark, figures.figure10a, min_shape=0.9)
+    measured = result.measured
+    # Paper: I-CASH processes more tx/min than everything else.
+    assert measured["icash"] == max(measured.values())
+    # ...and RAID0 trails badly on small random transactions.
+    assert measured["raid0"] == min(measured.values())
+
+
+def test_fig10b_tpcc_cpu_utilisation(benchmark):
+    result = run_figure(benchmark, figures.figure10b, min_shape=0.0)
+    gap = result.measured["icash"] - result.measured["fusion-io"]
+    assert gap < 0.15

@@ -1,0 +1,12 @@
+"""Figure 11: TPC-C application-level response time."""
+
+from repro.experiments import figures
+
+from conftest import run_figure
+
+
+def test_fig11_tpcc_response_time(benchmark):
+    result = run_figure(benchmark, figures.figure11, min_shape=0.7)
+    # Paper: I-CASH improves application response time over both
+    # fusion-io (64%) and RAID0 (81%) — i.e. it is the fastest.
+    assert result.measured["icash"] == min(result.measured.values())

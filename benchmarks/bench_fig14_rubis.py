@@ -1,0 +1,21 @@
+"""Figure 14: RUBiS (auction site) request rate.
+
+99% reads mute I-CASH's write-path advantage: the paper reports pure
+SSD 10% ahead of I-CASH, with I-CASH still beating the LRU (1.04x) and
+dedup (1.29x) caches and RAID0 (1.5x).
+"""
+
+from repro.experiments import figures
+
+from conftest import run_figure
+
+
+def test_fig14_rubis_request_rate(benchmark):
+    result = run_figure(benchmark, figures.figure14, min_shape=0.8)
+    measured = result.measured
+    assert measured["icash"] > measured["lru"]
+    assert measured["icash"] > measured["dedup"]
+    assert measured["icash"] > 1.3 * measured["raid0"]
+    # Pure SSD and I-CASH bracket each other within ~15% either way.
+    ratio = measured["icash"] / measured["fusion-io"]
+    assert 0.85 < ratio < 1.15

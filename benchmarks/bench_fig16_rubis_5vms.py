@@ -1,0 +1,18 @@
+"""Figure 16: five RUBiS VMs, normalised request rate.
+
+Read-intensive multi-VM: the paper reports I-CASH 1.2x over pure SSD
+and ~4x over the same-budget caches.
+"""
+
+from repro.experiments import figures
+
+from conftest import run_figure
+
+
+def test_fig16_five_rubis_vms(benchmark):
+    result = run_figure(benchmark, figures.figure16, min_shape=0.9)
+    measured = result.measured
+    assert measured["icash"] >= 0.95 * measured["fusion-io"]
+    assert measured["icash"] > 2 * measured["lru"]
+    assert measured["icash"] > 2 * measured["dedup"]
+    assert measured["icash"] > 4 * measured["raid0"]

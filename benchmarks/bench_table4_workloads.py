@@ -1,0 +1,27 @@
+"""Table 4: workload characteristics.
+
+Generates every benchmark's stream and prints its measured profile next
+to the paper's Table 4 row.  Exact counts differ (runs are scaled ~1/30
+and ~1/80 in request count); the read/write mix and request-size shape
+must match.
+"""
+
+import pytest
+
+from repro.workloads import ALL_WORKLOADS
+
+
+@pytest.mark.parametrize("workload_cls", ALL_WORKLOADS,
+                         ids=[w.name for w in ALL_WORKLOADS])
+def test_table4_profile(benchmark, workload_cls):
+    workload = workload_cls(scale=0.25, n_requests=4000)
+    profile = benchmark.pedantic(workload.measured_profile,
+                                 rounds=1, iterations=1)
+    paper = workload_cls.paper_profile
+    print(f"\nTable 4 ({workload_cls.name}):")
+    print(f"  measured: {profile.format_row()}")
+    print(f"  paper:    {paper.format_row()}")
+    benchmark.extra_info["read_fraction"] = round(profile.read_fraction, 3)
+    benchmark.extra_info["paper_read_fraction"] = round(
+        paper.read_fraction, 3)
+    assert abs(profile.read_fraction - paper.read_fraction) < 0.06

@@ -1,0 +1,35 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one of the paper's tables or figures: it runs
+the experiment once (``benchmark.pedantic`` with a single round — these
+are simulations, not microbenchmarks), prints the measured-vs-paper
+table (run pytest with ``-s`` to see it), stores the measured series in
+``benchmark.extra_info`` for the JSON report, and asserts that a minimum
+fraction of the paper's pairwise orderings survived.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import FigureResult
+
+
+def run_figure(benchmark, figure_fn, min_shape: float = 0.6,
+               **kwargs) -> FigureResult:
+    """Execute one figure under pytest-benchmark and report it."""
+    result = benchmark.pedantic(lambda: figure_fn(**kwargs),
+                                rounds=1, iterations=1)
+    report_figure(benchmark, result, min_shape)
+    return result
+
+
+def report_figure(benchmark, result: FigureResult,
+                  min_shape: float) -> None:
+    print()
+    print(result.render())
+    for system, value in result.measured.items():
+        benchmark.extra_info[f"measured_{system}"] = round(value, 3)
+    score = result.shape_score()
+    benchmark.extra_info["shape_score"] = round(score, 3)
+    assert score >= min_shape, (
+        f"{result.figure}: only {score:.0%} of the paper's pairwise "
+        f"orderings were preserved (required {min_shape:.0%})")

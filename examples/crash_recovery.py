@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Crash recovery: Section 3.3's reliability story, demonstrated.
+
+I-CASH buffers deltas in RAM and flushes them to the HDD log
+periodically; a crash loses at most the un-flushed window.  This example
+runs a write-heavy burst, simulates a crash at three points (before any
+flush, mid-stream, after a final flush) and reports exactly how many
+blocks each recovery lost — and that after a flush, recovery is
+byte-exact by replaying the delta log against the SSD reference blocks.
+
+Run:  python examples/crash_recovery.py
+"""
+
+import numpy as np
+
+from repro.core import ICASHConfig, ICASHController
+from repro.core.recovery import recover
+
+BLOCK = 4096
+
+
+def build_family_dataset(n_blocks: int = 1024, seed: int = 5) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    bases = rng.integers(0, 256, (16, BLOCK), dtype=np.uint8)
+    dataset = bases[rng.integers(0, 16, n_blocks)].copy()
+    for lba in range(n_blocks):
+        idx = rng.integers(0, BLOCK, 24)
+        dataset[lba, idx] = rng.integers(0, 256, 24)
+    return dataset
+
+
+def lost_blocks(controller: ICASHController,
+                shadow: np.ndarray) -> int:
+    image = recover(controller)
+    return sum(1 for lba in range(shadow.shape[0])
+               if not np.array_equal(image.read(lba), shadow[lba]))
+
+
+def main() -> None:
+    dataset = build_family_dataset()
+    shadow = dataset.copy()
+    # A long flush interval exaggerates the loss window on purpose.
+    controller = ICASHController(dataset.copy(), ICASHConfig(
+        ssd_capacity_blocks=128,
+        data_ram_bytes=64 * BLOCK,
+        delta_ram_bytes=1 << 20,
+        max_virtual_blocks=4096,
+        log_blocks=2048,
+        scan_interval=400,
+        flush_interval=100_000,      # only explicit flushes
+        flush_dirty_count=100_000,
+    ))
+    controller.ingest()
+    rng = np.random.default_rng(99)
+
+    def write_burst(n: int) -> None:
+        for _ in range(n):
+            lba = int(rng.integers(0, shadow.shape[0]))
+            content = shadow[lba].copy()
+            content[0:80] = rng.integers(0, 256, 80)
+            shadow[lba] = content
+            controller.write(lba, [content])
+
+    write_burst(300)
+    loss = lost_blocks(controller, shadow)
+    print(f"crash after 300 unflushed writes: {loss} blocks recover to "
+          f"an older version (bounded by the dirty set)")
+
+    controller.flush()
+    print(f"crash right after a flush:        "
+          f"{lost_blocks(controller, shadow)} blocks lost — the log "
+          f"replay is byte-exact")
+
+    write_burst(150)
+    mid_loss = lost_blocks(controller, shadow)
+    controller.flush()
+    final_loss = lost_blocks(controller, shadow)
+    print(f"crash mid-second-burst:           {mid_loss} blocks stale")
+    print(f"crash after the final flush:      {final_loss} blocks lost")
+
+    image = recover(controller)
+    print(f"\nrecovery sources: {image.logged_blocks} blocks rebuilt "
+          f"from log deltas + SSD references; the rest from the HDD "
+          f"data region and SSD spills")
+    print("tune config.flush_interval / flush_dirty_count to trade the "
+          "loss window against log-append batching (Section 3.3).")
+
+
+if __name__ == "__main__":
+    main()

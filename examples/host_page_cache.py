@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""What the OS page cache hides — and what it cannot.
+
+The paper measures block-level response times *below* the host page
+cache, but applications live above it.  This example wraps the pure-SSD
+baseline and I-CASH with the same host cache and shows the two regimes:
+
+* with a generous cache, repeated reads are absorbed and the two
+  architectures look nearly identical from above;
+* the *sync* path (fsync-style flushes, here modelled by periodic cache
+  flushes) still reaches the storage, and there I-CASH's delta writes
+  keep their advantage.
+
+Run:  python examples/host_page_cache.py
+"""
+
+from repro.experiments.systems import make_system
+from repro.sim.pagecache import HostCachedSystem
+from repro.workloads import SysBenchWorkload
+
+
+def run(name: str, cache_fraction: float, sync_every: int = 0):
+    workload = SysBenchWorkload(n_requests=6000)
+    system = make_system(name, workload)
+    if cache_fraction > 0:
+        system = HostCachedSystem(
+            system, max(8, int(workload.n_blocks * cache_fraction)))
+    system.ingest()
+    total = 0.0
+    sync_total = 0.0
+    syncs = 0
+    for index, request in enumerate(workload.requests()):
+        total += system.process(request)
+        if sync_every and (index + 1) % sync_every == 0:
+            sync_total += system.flush()
+            syncs += 1
+    reads = system.stats.latency("read")
+    writes = system.stats.latency("write")
+    return reads.mean_us, writes.mean_us, \
+        (sync_total / syncs * 1e6 if syncs else 0.0)
+
+
+def main() -> None:
+    print(f"{'system':>10} {'cache':>6} {'read_us':>9} {'write_us':>9} "
+          f"{'sync_us':>10}")
+    for name in ("fusion-io", "icash"):
+        for fraction in (0.0, 0.25):
+            read_us, write_us, sync_us = run(name, fraction,
+                                             sync_every=500)
+            label = f"{fraction:.0%}" if fraction else "none"
+            print(f"{name:>10} {label:>6} {read_us:>9.1f} "
+                  f"{write_us:>9.1f} {sync_us:>10.1f}")
+    print("\nabove a large host cache the architectures converge on the "
+          "hit path;\nthe periodic sync column is where the storage "
+          "design still shows.")
+
+
+if __name__ == "__main__":
+    main()

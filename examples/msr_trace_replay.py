@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Replaying a real-world-format block trace through I-CASH.
+
+The MSR-Cambridge CSV format (timestamp, host, disk, type, offset,
+size, response time) is the community standard for block traces.  This
+example fabricates a small trace in that format — in practice you would
+point the adapter at a downloaded `.csv` — and replays it through
+I-CASH and the pure-SSD baseline.
+
+Because such traces carry no data content (and I-CASH is content
+dependent), the adapter synthesises write payloads from the repository's
+family-based content model; the addresses, sizes, ordering and
+read/write mix are the trace's own.
+
+Run:  python examples/msr_trace_replay.py
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.experiments.runner import run_benchmark
+from repro.experiments.systems import make_system
+from repro.workloads.msr import MSRTraceWorkload
+
+BLOCK = 4096
+
+
+def fabricate_trace(path: Path, n_requests: int = 4000,
+                    seed: int = 9) -> None:
+    """An MSR-format file with a skewed, bursty access pattern."""
+    rng = np.random.default_rng(seed)
+    hot = rng.permutation(4096)[:400]
+    lines = []
+    for i in range(n_requests):
+        if rng.random() < 0.8:
+            block = int(hot[rng.integers(0, len(hot))])
+        else:
+            block = int(rng.integers(0, 4096))
+        op = "Write" if rng.random() < 0.3 else "Read"
+        nblocks = int(rng.geometric(0.5))
+        lines.append(f"{i * 1000},web0,0,{op},{block * BLOCK},"
+                     f"{min(nblocks, 16) * BLOCK},0")
+    path.write_text("\n".join(lines) + "\n")
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        trace_path = Path(tmp) / "web0.csv"
+        fabricate_trace(trace_path)
+        workload = MSRTraceWorkload(trace_path, mutation_fraction=0.08)
+        print(workload.footprint_summary())
+        print()
+        for name in ("icash", "fusion-io"):
+            wl = MSRTraceWorkload(trace_path, mutation_fraction=0.08)
+            system = make_system(name, wl)
+            result = run_benchmark(wl, system, verify_reads=True,
+                                   warmup_fraction=0.3)
+            print(f"{name:>10}: read {result.read_mean_us:8.1f} µs, "
+                  f"write {result.write_mean_us:8.1f} µs, "
+                  f"runtime SSD writes {result.ssd_write_ops:6d}, "
+                  f"verified {result.verified_reads} reads")
+    print("\n(point MSRTraceWorkload at any MSR-Cambridge CSV to replay "
+          "production access patterns)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Virtual-machine image sprawl: the paper's multi-VM scenario.
+
+Section 3.1, case 2: when VMs are cloned from a golden image, "the
+difference between data blocks of a virtual machine image and the data
+blocks of the native machine are very small and therefore it makes sense
+to store only the difference/delta between the two."
+
+This example composes five TPC-C VMs cloned from one image, runs them
+concurrently against I-CASH and against a pure-SSD system sized for the
+*whole* data set, and shows how cross-VM similarity lets I-CASH match it
+with a tenth of the flash.
+
+Run:  python examples/virtual_machine_images.py
+"""
+
+from repro.experiments.runner import run_benchmark
+from repro.experiments.systems import make_system
+from repro.workloads import MultiVMWorkload, TPCCWorkload
+
+
+def main() -> None:
+    workload = MultiVMWorkload(TPCCWorkload, n_vms=5, scale=0.2,
+                               n_requests_per_vm=1500, seed=2011)
+    print(f"composed workload: {workload.name}")
+    print(f"  {workload.n_vms} VM images x {workload.vm_blocks} blocks "
+          f"= {workload.n_blocks} blocks "
+          f"({workload.data_size_bytes / 2**20:.0f} MiB)")
+    similarity = workload.cross_vm_similarity()
+    print(f"  cross-VM image similarity: {similarity:.1%} of blocks are "
+          f"byte-identical to the golden image")
+
+    results = {}
+    for name in ("fusion-io", "icash"):
+        wl = MultiVMWorkload(TPCCWorkload, n_vms=5, scale=0.2,
+                             n_requests_per_vm=1500, seed=2011)
+        system = make_system(name, wl)
+        results[name] = run_benchmark(wl, system, verify_reads=True)
+        print(f"\n--- {name} ---")
+        r = results[name]
+        print(f"  transactions/s : {r.transactions_per_s:9.1f}")
+        print(f"  mean read      : {r.read_mean_us:9.1f} µs")
+        print(f"  mean write     : {r.write_mean_us:9.1f} µs")
+        print(f"  runtime SSD writes: {r.ssd_write_ops}")
+        print(f"  reads verified : {r.verified_reads}")
+        if name == "icash":
+            counts = system.block_kind_counts()
+            total = sum(counts.values())
+            print(f"  block population: "
+                  + ", ".join(f"{k} {v / total:.0%}"
+                              for k, v in counts.items()))
+            print(f"  SSD budget: {system.config.ssd_capacity_blocks} "
+                  f"blocks (~{system.config.ssd_capacity_blocks / workload.n_blocks:.0%} "
+                  f"of the data set) vs fusion-io's 100%")
+
+    ratio = results["icash"].transactions_per_s \
+        / results["fusion-io"].transactions_per_s
+    print(f"\nI-CASH vs pure SSD on 5 cloned VMs: {ratio:.2f}x "
+          f"throughput with one tenth of the flash")
+    print("(the paper's Figure 15 reports 2.8x on real hardware, where "
+          "the pure-SSD card also saturated under 5 VMs' writes)")
+
+
+if __name__ == "__main__":
+    main()

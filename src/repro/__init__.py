@@ -1,0 +1,49 @@
+"""repro — a reproduction of I-CASH (Ren & Yang, HPCA 2011).
+
+I-CASH — the Intelligently Coupled Array of SSD and HDD — stores
+seldom-changed *reference blocks* on an SSD and a sequential log of
+content *deltas* on an HDD, trading cheap CPU cycles (delta compression,
+similarity detection) for expensive mechanical disk operations while
+keeping random writes off the SSD.
+
+Quickstart::
+
+    import numpy as np
+    from repro import ICASHController, ICASHConfig
+
+    dataset = np.zeros((4096, 4096), dtype=np.uint8)   # 16 MiB of blocks
+    icash = ICASHController(dataset, ICASHConfig(ssd_capacity_blocks=512))
+    latency = icash.write(7, [np.full(4096, 0xAB, dtype=np.uint8)])
+    latency, (content,) = icash.read(7)
+
+Package map:
+
+* :mod:`repro.core` — the I-CASH controller and its machinery.
+* :mod:`repro.devices` — SSD (NAND + FTL), HDD, RAID0 and DRAM models.
+* :mod:`repro.delta` — the delta codec, segment pool and HDD delta log.
+* :mod:`repro.baselines` — the paper's four comparison architectures.
+* :mod:`repro.workloads` — the six benchmark trace generators.
+* :mod:`repro.metrics` — energy, SSD-wear and CPU-utilisation models.
+* :mod:`repro.experiments` — runners regenerating every table and figure.
+"""
+
+from repro.baselines import (DedupCacheStorage, LRUCacheStorage, PureSSD,
+                             RAID0Storage, StorageSystem)
+from repro.core import Heatmap, ICASHConfig, ICASHController
+from repro.sim import IORequest, OpType
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DedupCacheStorage",
+    "Heatmap",
+    "ICASHConfig",
+    "ICASHController",
+    "IORequest",
+    "LRUCacheStorage",
+    "OpType",
+    "PureSSD",
+    "RAID0Storage",
+    "StorageSystem",
+    "__version__",
+]

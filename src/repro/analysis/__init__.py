@@ -1,0 +1,26 @@
+"""Content-locality and run analysis tools.
+
+The paper's architecture stands on an empirical claim (Section 2.2):
+data blocks exhibit *content locality* — many are identical, many more
+are similar, and typical writes change only 5–20 % of a block.  This
+package measures those properties directly:
+
+* :mod:`repro.analysis.locality` — dataset- and trace-level content
+  statistics: duplicate ratio, delta-size distributions against best
+  references, signature-overlap histograms, write-change fractions.
+* :mod:`repro.analysis.coverage` — how well a reference set covers a
+  block population (the "1 % references anchor 85 % of blocks" number).
+"""
+
+from repro.analysis.coverage import CoverageReport, reference_coverage
+from repro.analysis.locality import (DatasetLocality, WriteLocality,
+                                     analyze_dataset, analyze_writes)
+
+__all__ = [
+    "CoverageReport",
+    "DatasetLocality",
+    "WriteLocality",
+    "analyze_dataset",
+    "analyze_writes",
+    "reference_coverage",
+]

@@ -1,0 +1,30 @@
+"""Baseline storage architectures the paper compares I-CASH against.
+
+Section 4.4 sets up four baselines on identical hardware:
+
+* :class:`~repro.baselines.pure_ssd.PureSSD` — "Fusion-io": the whole
+  data set on the SSD, no HDD.
+* :class:`~repro.baselines.raid0.RAID0Storage` — RAID0 over four SATA
+  disks (Linux MD).
+* :class:`~repro.baselines.dedup.DedupCacheStorage` — an SSD cache that
+  stores a single copy of identical blocks (content-addressed).
+* :class:`~repro.baselines.lru_cache.LRUCacheStorage` — the SSD as a
+  plain LRU cache on top of the disk.
+
+Dedup and LRU get exactly the same SSD budget as I-CASH (about 10 % of
+each benchmark's data set); PureSSD gets enough SSD for everything.
+"""
+
+from repro.baselines.base import StorageSystem
+from repro.baselines.dedup import DedupCacheStorage
+from repro.baselines.lru_cache import LRUCacheStorage
+from repro.baselines.pure_ssd import PureSSD
+from repro.baselines.raid0 import RAID0Storage
+
+__all__ = [
+    "DedupCacheStorage",
+    "LRUCacheStorage",
+    "PureSSD",
+    "RAID0Storage",
+    "StorageSystem",
+]

@@ -1,0 +1,107 @@
+"""Common interface every storage architecture implements.
+
+A storage system services block reads and writes over one logical block
+space, returning both the *service latency* and — for reads — the actual
+block *content*.  Returning real content is deliberate: it lets the test
+suite verify every architecture end-to-end (whatever was written must
+read back identically), which for I-CASH exercises the whole
+reference-plus-delta reconstruction path rather than trusting it.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.sim.request import IORequest, OpType
+from repro.sim.stats import StatsCollector
+
+
+class StorageSystem(abc.ABC):
+    """Abstract storage architecture over a logical 4 KB block space."""
+
+    def __init__(self, name: str, capacity_blocks: int) -> None:
+        self.name = name
+        self.capacity_blocks = capacity_blocks
+        self.stats = StatsCollector()
+        #: Time (s) spent on work off the request critical path
+        #: (background scans, flushes, destaging).  The experiment runner
+        #: folds this into wall-clock time.
+        self.background_time = 0.0
+        #: CPU seconds consumed by the architecture's own computation
+        #: (delta codec, hashing, scans) — input to the CPU-utilisation
+        #: model behind Figures 6(b)/8(b)/10(b).
+        self.cpu_time = 0.0
+
+    # -- core operations ---------------------------------------------------
+
+    @abc.abstractmethod
+    def read(self, lba: int, nblocks: int = 1
+             ) -> Tuple[float, List[np.ndarray]]:
+        """Service a read; returns (latency seconds, block contents)."""
+
+    @abc.abstractmethod
+    def write(self, lba: int, blocks: Sequence[np.ndarray]) -> float:
+        """Service a write of consecutive blocks; returns latency seconds."""
+
+    def flush(self) -> float:
+        """Drain dirty state to durable media; returns latency seconds.
+
+        Architectures without dirty state inherit this no-op.
+        """
+        return 0.0
+
+    def ingest(self) -> float:
+        """Organise the pre-loaded data set before the benchmark runs.
+
+        Real benchmarks create their data sets (database load, mail-store
+        creation, NFS file population) before measurement; architectures
+        that reorganise content at creation time (I-CASH's offline
+        reference selection and delta packing, Section 3.1 case 2)
+        override this.  Returns the setup time, which runners do not
+        charge to the benchmark.
+        """
+        return 0.0
+
+    @abc.abstractmethod
+    def devices(self) -> Iterable:
+        """The device models underlying this system (energy accounting)."""
+
+    # -- request dispatch ------------------------------------------------------
+
+    def process(self, request: IORequest) -> float:
+        """Service one request, recording per-class latency stats."""
+        if request.op is OpType.READ:
+            latency, _ = self.read(request.lba, request.nblocks)
+            self.stats.record_latency("read", latency)
+        else:
+            latency = self.write(request.lba, request.payload)
+            self.stats.record_latency("write", latency)
+        return latency
+
+    # -- reporting ---------------------------------------------------------------
+
+    @property
+    def ssd_write_ops(self) -> int:
+        """Write operations issued to SSD devices (Table 6's metric)."""
+        return sum(d.stats.count("write_ops") for d in self.devices()
+                   if getattr(d, "name", "") == "ssd")
+
+    @property
+    def ssd_write_blocks(self) -> int:
+        return sum(d.stats.count("write_blocks") for d in self.devices()
+                   if getattr(d, "name", "") == "ssd")
+
+    def _check_span(self, lba: int, nblocks: int) -> None:
+        if nblocks < 1:
+            raise ValueError(f"nblocks must be >= 1, got {nblocks}")
+        if lba < 0 or lba + nblocks > self.capacity_blocks:
+            raise ValueError(
+                f"span [{lba}, {lba + nblocks}) outside {self.name} of "
+                f"{self.capacity_blocks} blocks")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"{type(self).__name__}(name={self.name!r}, "
+                f"capacity_blocks={self.capacity_blocks})")

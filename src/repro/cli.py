@@ -1,0 +1,225 @@
+"""Command-line interface.
+
+Everything the experiment harness can do, runnable without writing
+Python::
+
+    python -m repro list                      # what can I run?
+    python -m repro figure figure6a           # one paper figure
+    python -m repro figure all                # every figure (long)
+    python -m repro profile sysbench          # a Table 4 row
+    python -m repro sweep scan_interval 250 500 1000 2000
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments import figures as figures_module
+from repro.experiments.sweeps import render_sweep, sweep_config
+from repro.workloads import ALL_WORKLOADS
+
+_WORKLOADS = {cls.name: cls for cls in ALL_WORKLOADS}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="I-CASH (HPCA 2011) reproduction harness")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list runnable figures and workloads")
+
+    figure = sub.add_parser("figure",
+                            help="regenerate one paper figure (or 'all')")
+    figure.add_argument("name", help="figure name from 'repro list', "
+                                     "or 'all'")
+    figure.add_argument("--requests", type=int, default=None,
+                        help="requests per benchmark run "
+                             "(default: harness default)")
+
+    profile = sub.add_parser("profile",
+                             help="measure a workload's Table 4 profile")
+    profile.add_argument("workload", choices=sorted(_WORKLOADS))
+    profile.add_argument("--requests", type=int, default=4000)
+
+    sweep = sub.add_parser("sweep",
+                           help="sweep one ICASHConfig field on SysBench")
+    sweep.add_argument("parameter",
+                       help="ICASHConfig field, e.g. scan_interval")
+    sweep.add_argument("values", nargs="+",
+                       help="values to sweep (parsed as int when "
+                            "possible)")
+    sweep.add_argument("--requests", type=int, default=6000)
+
+    validate = sub.add_parser(
+        "validate", help="run every figure and summarise shape scores "
+                         "and headline claims")
+    validate.add_argument("--requests", type=int, default=None)
+
+    analyze = sub.add_parser(
+        "analyze", help="measure a workload's content locality "
+                        "(the paper's Section 2.2 claims)")
+    analyze.add_argument("workload", choices=sorted(_WORKLOADS))
+    analyze.add_argument("--requests", type=int, default=2000)
+
+    run = sub.add_parser(
+        "run", help="run one workload on one architecture and print the "
+                    "full diagnosis (result, element status, path "
+                    "breakdowns)")
+    run.add_argument("workload", choices=sorted(_WORKLOADS))
+    run.add_argument("--system", default="icash",
+                     choices=["fusion-io", "raid0", "dedup", "lru",
+                              "icash"])
+    run.add_argument("--requests", type=int, default=6000)
+    run.add_argument("--verify", action="store_true",
+                     help="verify every read against the shadow copy")
+    return parser
+
+
+def _parse_value(text: str):
+    for cast in (int, float):
+        try:
+            return cast(text)
+        except ValueError:
+            continue
+    return text
+
+
+def _cmd_list() -> int:
+    print("figures:")
+    for name in figures_module.ALL_FIGURES:
+        print(f"  {name}")
+    print("also: figure7 / figure9 (read+write pairs), table5, table6 "
+          "run via pytest benchmarks/")
+    print("\nworkloads:")
+    for name in sorted(_WORKLOADS):
+        print(f"  {name}")
+    return 0
+
+
+def _cmd_figure(name: str, requests: Optional[int]) -> int:
+    names = (list(figures_module.ALL_FIGURES)
+             if name == "all" else [name])
+    unknown = [n for n in names if n not in figures_module.ALL_FIGURES]
+    if unknown:
+        print(f"unknown figure(s): {', '.join(unknown)} — see "
+              f"'repro list'", file=sys.stderr)
+        return 2
+    for fig_name in names:
+        fn = figures_module.ALL_FIGURES[fig_name]
+        kwargs = {}
+        if requests is not None and "figure1" not in fig_name[:8]:
+            # Multi-VM figures take per-VM counts; leave their defaults.
+            if fig_name not in ("figure15", "figure16"):
+                kwargs["n_requests"] = requests
+        result = fn(**kwargs)
+        print(result.render())
+        print()
+    return 0
+
+
+def _cmd_profile(workload_name: str, requests: int) -> int:
+    cls = _WORKLOADS[workload_name]
+    workload = cls(scale=0.25, n_requests=requests)
+    measured = workload.measured_profile()
+    print("measured:", measured.format_row())
+    print("paper:   ", cls.paper_profile.format_row())
+    return 0
+
+
+def _cmd_sweep(parameter: str, raw_values: List[str],
+               requests: int) -> int:
+    from repro.workloads import SysBenchWorkload
+
+    values = [_parse_value(v) for v in raw_values]
+    try:
+        points = sweep_config(
+            lambda: SysBenchWorkload(n_requests=requests),
+            parameter, values)
+    except TypeError as error:
+        print(f"bad parameter {parameter!r}: {error}", file=sys.stderr)
+        return 2
+    print(render_sweep(points))
+    return 0
+
+
+def _cmd_validate(requests: Optional[int]) -> int:
+    from repro.experiments.validate import validate
+
+    summary = validate(n_requests=requests)
+    print(summary.render())
+    return 0 if summary.claims_held == len(summary.claims) else 1
+
+
+def _cmd_analyze(workload_name: str, requests: int) -> int:
+    from repro.analysis import analyze_dataset, analyze_writes
+
+    cls = _WORKLOADS[workload_name]
+    workload = cls(scale=0.25, n_requests=requests)
+    dataset = workload.build_dataset()
+    locality = analyze_dataset(dataset, sample=min(2000,
+                                                   workload.n_blocks))
+    print(f"{workload_name} initial data set:")
+    print(f"  {locality.summary()}")
+    writes = analyze_writes(dataset, workload.requests())
+    print(f"{workload_name} write stream:")
+    print(f"  {writes.summary()}")
+    return 0
+
+
+def _cmd_run(workload_name: str, system_name: str, requests: int,
+             verify: bool) -> int:
+    from repro.experiments.runner import run_benchmark
+    from repro.experiments.systems import make_system
+
+    workload = _WORKLOADS[workload_name](n_requests=requests)
+    system = make_system(system_name, workload)
+    result = run_benchmark(workload, system, verify_reads=verify)
+    print(f"{workload_name} on {system_name}: "
+          f"{result.transactions_per_s:.1f} tx/s, "
+          f"read {result.read_mean_us:.1f} us "
+          f"(p99 {result.read_p99_us:.1f}), "
+          f"write {result.write_mean_us:.1f} us, "
+          f"cpu {result.cpu_utilization:.0%}, "
+          f"runtime SSD writes {result.ssd_write_ops}")
+    if verify:
+        print(f"reads verified byte-exact: {result.verified_reads}")
+    if system_name == "icash":
+        from repro.experiments.breakdown import (read_breakdown,
+                                                 semiconductor_fraction,
+                                                 write_breakdown)
+        print()
+        print(system.describe())
+        print()
+        print(read_breakdown(system).render())
+        print()
+        print(write_breakdown(system).render())
+        print(f"\nreads served without mechanical I/O: "
+              f"{semiconductor_fraction(system):.1%}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "figure":
+        return _cmd_figure(args.name, args.requests)
+    if args.command == "profile":
+        return _cmd_profile(args.workload, args.requests)
+    if args.command == "sweep":
+        return _cmd_sweep(args.parameter, args.values, args.requests)
+    if args.command == "validate":
+        return _cmd_validate(args.requests)
+    if args.command == "analyze":
+        return _cmd_analyze(args.workload, args.requests)
+    if args.command == "run":
+        return _cmd_run(args.workload, args.system, args.requests,
+                        args.verify)
+    raise AssertionError(f"unhandled command {args.command}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,111 @@
+"""I-CASH configuration.
+
+Defaults follow the paper's prototype (Sections 4.2–4.3): 4 KB cache
+blocks split into eight 512 B sub-blocks with 1-byte sampled
+sub-signatures; a similarity scan every 2 000 I/Os over 4 000 LRU blocks;
+a 2 048-byte delta spill threshold; delta storage in 64-byte segments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.signatures import SignatureScheme
+
+
+@dataclass(frozen=True)
+class ICASHConfig:
+    """All tunables of one I-CASH storage element."""
+
+    # -- geometry ----------------------------------------------------------
+    #: SSD reference store capacity in 4 KB blocks.  The paper typically
+    #: provisions about 10 % of the benchmark's data-set size.
+    ssd_capacity_blocks: int = 4096
+    #: RAM dedicated to cached data blocks, in bytes.
+    data_ram_bytes: int = 16 * 1024 * 1024
+    #: RAM dedicated to the delta segment pool, in bytes (the paper's
+    #: "delta buffer", 32–512 MB depending on benchmark).
+    delta_ram_bytes: int = 8 * 1024 * 1024
+    #: Maximum virtual blocks tracked (metadata entries).  Virtual blocks
+    #: are tiny, so the prototype keeps far more of them than data blocks.
+    max_virtual_blocks: int = 65536
+    #: HDD delta-log region size in blocks.
+    log_blocks: int = 16384
+    #: Place the delta log on byte-addressable NVRAM (PRAM) instead of
+    #: the HDD — the extension Section 2.1 points at via Sun et al.
+    #: Appends persist in microseconds and the crash-loss window shrinks
+    #: accordingly; the HDD keeps only the data region.
+    log_on_nvram: bool = False
+
+    # -- signatures and similarity ------------------------------------------
+    signature_scheme: SignatureScheme = SignatureScheme.SAMPLED
+    #: Run the similarity scan every this many I/Os (paper: 2 000).
+    scan_interval: int = 2000
+    #: Blocks examined per scan from the head of the LRU queue (paper: 4 000).
+    scan_window: int = 4000
+    #: Sub-signature positions that must match before a delta encode is
+    #: even attempted between a block and a candidate reference.
+    min_signature_match: int = 4
+    #: Largest delta (bytes) accepted when associating a block with a
+    #: reference during the scan.
+    delta_accept_bytes: int = 2048
+
+    # -- write path ------------------------------------------------------------
+    #: Deltas larger than this spill the whole block to the SSD instead
+    #: (paper: 2 048 bytes — "to release delta buffer").
+    delta_spill_bytes: int = 2048
+    #: Flush dirty deltas and data to the HDD at least every this many I/Os
+    #: (the tunable reliability/performance knob of Section 3.3).
+    flush_interval: int = 1024
+    #: Also flush once this many deltas are dirty — "a tunable parameter
+    #: based on the number of dirty delta blocks in the system" (§3.3).
+    #: Batching matters: each flush packs its records into shared delta
+    #: blocks, so bigger batches mean fewer, denser log writes.
+    flush_dirty_count: int = 512
+    #: How dirty deltas are ordered into packed delta blocks:
+    #: ``"arrival"`` keeps write order, so deltas of one sequential or
+    #: temporal burst share a delta block (§3.1 case 1 — one later HDD
+    #: read then serves the whole burst); ``"lba"`` packs by address,
+    #: favouring spatially clustered re-access.
+    flush_order: str = "arrival"
+
+    # -- CPU cost model ----------------------------------------------------------
+    #: Time to delta-compress one 4 KB block (s).  The paper overlaps
+    #: compression with I/O processing, so only ``compress_exposed_fraction``
+    #: of it lands on the request's critical path.
+    compress_s: float = 15e-6
+    compress_exposed_fraction: float = 0.2
+    #: Time to decompress (apply) one delta (s); the paper measures ~10 µs.
+    decompress_s: float = 10e-6
+    #: CPU time per candidate comparison in the similarity scan (s).
+    scan_compare_s: float = 2e-6
+
+    # -- long-run behaviour ------------------------------------------------------
+    #: Age the Heatmap multiplicatively every this many I/Os (0 = never).
+    #: The paper's bounded runs never need aging; long-lived deployments
+    #: do, or stale content anchors reference selection forever.
+    heatmap_decay_interval: int = 0
+    #: Multiplicative factor applied at each decay.
+    heatmap_decay_factor: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.ssd_capacity_blocks < 1:
+            raise ValueError("SSD needs at least one block")
+        if self.scan_interval < 1 or self.scan_window < 1:
+            raise ValueError("scan parameters must be positive")
+        if not 0.0 <= self.compress_exposed_fraction <= 1.0:
+            raise ValueError("compress_exposed_fraction must be in [0, 1]")
+        if self.delta_spill_bytes < self.delta_accept_bytes:
+            raise ValueError(
+                "spill threshold below accept threshold would spill every "
+                "freshly associated block")
+        if self.flush_order not in ("arrival", "lba"):
+            raise ValueError(
+                f"flush_order must be 'arrival' or 'lba', "
+                f"got {self.flush_order!r}")
+        if self.heatmap_decay_interval < 0:
+            raise ValueError("heatmap_decay_interval cannot be negative")
+        if not 0.0 <= self.heatmap_decay_factor <= 1.0:
+            raise ValueError(
+                f"heatmap_decay_factor must be in [0, 1], "
+                f"got {self.heatmap_decay_factor}")

@@ -1,0 +1,1092 @@
+"""The I-CASH storage element: one SSD and one HDD, intelligently coupled.
+
+This is the paper's architecture (Figure 1) end to end:
+
+* The **SSD** stores reference blocks (and the few blocks spilled when a
+  delta exceeds the threshold).  It sees almost no random writes during
+  online operation — references are written by the background scan.
+* The **HDD** stores the logical data region (for independent blocks)
+  plus an append-only *delta log*: dirty deltas are packed many-per-block
+  and flushed sequentially, so one mechanical operation carries many
+  logical writes.
+* The **RAM buffer** holds hot data blocks and the delta segment pool.
+* The **CPU** pays for delta encodes/decodes and the periodic similarity
+  scan; the write-path compression largely overlaps I/O processing
+  (Section 5.1), so only a configurable fraction of it lands on the
+  request critical path.
+
+Reads return real reconstructed content — reference content patched with
+the block's delta — so the test suite can verify the entire pipeline
+byte-for-byte against a shadow copy.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.baselines.base import StorageSystem
+from repro.core.cache import ICashCache
+from repro.core.config import ICASHConfig
+from repro.core.heatmap import Heatmap
+from repro.core.signatures import block_signatures
+from repro.core.similarity import SimilarityScanner
+from repro.core.virtual_block import BlockKind, VirtualBlock
+from repro.delta.encoder import Delta, apply_delta, encode_delta
+from repro.delta.packer import DeltaLog, DeltaRecord
+from repro.delta.segments import SegmentPool
+from repro.devices.dram import DRAMBuffer
+from repro.devices.hdd import HardDiskDrive, HDDSpec
+from repro.devices.ssd import FlashSSD, SSDSpec
+from repro.sim.backing import BackingStore
+
+
+class _DeltaMapEntry:
+    """Durable metadata for one delta-mapped block.
+
+    Survives virtual-block eviction: a block whose delta lives only in the
+    HDD log is still reconstructible via this entry.
+    """
+
+    __slots__ = ("ref_lba", "log_slot")
+
+    def __init__(self, ref_lba: int, log_slot: Optional[int]) -> None:
+        self.ref_lba = ref_lba
+        self.log_slot = log_slot
+
+
+class ICASHController(StorageSystem):
+    """One I-CASH storage element over a logical 4 KB block space."""
+
+    def __init__(self, initial_content: np.ndarray,
+                 config: ICASHConfig = ICASHConfig(),
+                 hdd_spec: HDDSpec = HDDSpec(),
+                 ssd_spec: SSDSpec = SSDSpec()) -> None:
+        capacity_blocks = initial_content.shape[0]
+        super().__init__("icash", capacity_blocks)
+        self.config = config
+        self.backing = BackingStore(initial_content)
+        if config.log_on_nvram:
+            # NVRAM log variant: the HDD keeps only the data region and
+            # the log appends persist at memory speed.
+            from repro.devices.nvram import NVRAM
+            self.hdd = HardDiskDrive(capacity_blocks, hdd_spec)
+            self.nvram: Optional[NVRAM] = NVRAM(config.log_blocks)
+            self.log = DeltaLog(self.nvram, base_lba=0,
+                                size_blocks=config.log_blocks)
+        else:
+            self.hdd = HardDiskDrive(capacity_blocks + config.log_blocks,
+                                     hdd_spec)
+            self.nvram = None
+            self.log = DeltaLog(self.hdd, base_lba=capacity_blocks,
+                                size_blocks=config.log_blocks)
+        self.ssd = FlashSSD(config.ssd_capacity_blocks, ssd_spec)
+        self.dram = DRAMBuffer(
+            config.data_ram_bytes + config.delta_ram_bytes, "icash-ram")
+        self.segments = SegmentPool(config.delta_ram_bytes)
+        self.cache = ICashCache(config.max_virtual_blocks,
+                                config.data_ram_bytes, self.segments)
+        self.heatmap = Heatmap()
+        self.scanner = SimilarityScanner(
+            heatmap=self.heatmap,
+            min_signature_match=config.min_signature_match,
+            delta_accept_bytes=config.delta_accept_bytes,
+            scan_compare_s=config.scan_compare_s,
+            compress_s=config.compress_s)
+
+        # SSD bookkeeping: slot free list, and the RAM-side mirror of SSD
+        # content (references and spilled blocks) keyed by lba.  The
+        # mirror is what the real prototype's metadata makes addressable;
+        # device latencies are still charged through self.ssd.
+        self._free_slots: List[int] = list(
+            range(config.ssd_capacity_blocks - 1, -1, -1))
+        self._ssd_data: Dict[int, np.ndarray] = {}
+        self._slot_of: Dict[int, int] = {}
+        self._spilled: Set[int] = set()
+
+        # Durable delta metadata (lba -> reference + last logged slot).
+        self._delta_map: Dict[int, _DeltaMapEntry] = {}
+        # How many delta-map entries depend on each reference lba.  A
+        # reference can only be retired (its SSD copy released) when this
+        # count is zero: an evicted associate's logged delta is useless
+        # without the exact reference content it was derived against.
+        self._ref_dependents: Dict[int, int] = {}
+        # Dirty deltas awaiting a flush, in *arrival order* — the order
+        # they pack into delta blocks under flush_order="arrival".
+        self._dirty_delta_lbas: "OrderedDict[int, None]" = OrderedDict()
+        # References whose *current* content diverged beyond the spill
+        # threshold while other blocks still depend on their frozen SSD
+        # copy: the copy stays to serve dependents, and the reference's
+        # own content lives in the ordinary data path (RAM + HDD region).
+        self._shadowed_refs: Set[int] = set()
+        self._io_count = 0
+
+    # ------------------------------------------------------------------
+    # StorageSystem interface
+    # ------------------------------------------------------------------
+
+    def devices(self) -> Iterable:
+        if self.nvram is not None:
+            return (self.ssd, self.hdd, self.dram, self.nvram)
+        return (self.ssd, self.hdd, self.dram)
+
+    def read(self, lba: int, nblocks: int = 1
+             ) -> Tuple[float, List[np.ndarray]]:
+        self._check_span(lba, nblocks)
+        latency = 0.0
+        contents: List[np.ndarray] = []
+        # SSD reads after the first within one host request pipeline
+        # across the flash channels, like a native multi-page read.
+        self._request_ssd_reads = 0
+        for block in range(lba, lba + nblocks):
+            block_latency, content = self._read_one(block)
+            latency += block_latency
+            contents.append(content)
+            self._after_io()
+        return latency, contents
+
+    def write(self, lba: int, blocks: Sequence[np.ndarray]) -> float:
+        self._check_span(lba, len(blocks))
+        self._request_ssd_reads = 0
+        latency = 0.0
+        for offset, content in enumerate(blocks):
+            latency += self._write_one(lba + offset, content)
+            self._after_io()
+        return latency
+
+    def flush(self) -> float:
+        """Foreground drain of all dirty deltas and data blocks."""
+        return self._flush_deltas(background=False) \
+            + self._flush_dirty_data(background=False)
+
+    def ingest(self) -> float:
+        """Offline reference selection and delta packing (§3.1, case 2).
+
+        "At the time when virtual machines are created, I-CASH compares
+        each data block ... derives deltas ... and packs the deltas into
+        delta blocks to be stored in HDD."  The same organisation applies
+        to any pre-loaded data set (a database load, a mail store): sweep
+        the backing store sequentially, promote the first block of each
+        content cluster to a reference in the SSD, and pack every
+        similar block's delta into the sequential HDD log.
+
+        Returns the setup time (sequential sweep + SSD reference writes +
+        log append); callers treat it as load-phase cost, outside the
+        measured benchmark window.
+        """
+        config = self.config
+        index: Dict[Tuple[int, int], List[int]] = {}
+        pending: List[DeltaRecord] = []
+        total = 0.0
+        for lba in range(self.capacity_blocks):
+            total += self.hdd.read(lba, 1)  # sequential sweep
+            content = self.backing.view(lba)
+            signatures = block_signatures(content, config.signature_scheme)
+            self.heatmap.record(signatures)
+            best_lba = self._ingest_best_reference(signatures, index)
+            if best_lba is not None:
+                delta = encode_delta(content, self._ssd_data[best_lba])
+                self.cpu_time += config.compress_s
+                if delta.size_bytes <= config.delta_accept_bytes:
+                    pending.append(DeltaRecord(lba, best_lba, delta))
+                    self._map_delta(lba, best_lba)
+                    continue
+            if self._free_slots:
+                slot = self._acquire_ssd_slot(lba)
+                self._ssd_data[lba] = content.copy()
+                total += self.ssd.write(slot, 1)
+                vb = self._install_virtual_block(lba, BlockKind.REFERENCE,
+                                                 ssd_slot=slot)
+                vb.signatures = signatures
+                for row, value in enumerate(signatures):
+                    index.setdefault((row, value), []).append(lba)
+                self.stats.bump("ingest_references")
+            # else: stays independent on the HDD data region.
+        if pending:
+            total += self._append_to_log(pending, relogging=False)
+            self.stats.bump("ingest_deltas", len(pending))
+            # Leave the delta buffer warm: the prototype "is able to cache
+            # all delta blocks within 32 MB RAM" (Section 5.1).  Whatever
+            # exceeds the pool stays reachable through the log.
+            for record in pending:
+                if not self.segments.can_fit(record.delta.size_bytes):
+                    break
+                if record.lba in self.cache:
+                    continue
+                vb = self._install_virtual_block(
+                    record.lba, BlockKind.ASSOCIATE,
+                    ref_lba=record.ref_lba)
+                self.cache.attach_delta(vb, record.delta)
+                vb.delta_dirty = False
+                self._bump_associate_count(record.ref_lba, +1)
+        return total
+
+    def _ingest_best_reference(self, signatures: Tuple[int, ...],
+                               index: Dict[Tuple[int, int], List[int]]
+                               ) -> Optional[int]:
+        tallies: Dict[int, int] = {}
+        for row, value in enumerate(signatures):
+            for ref_lba in index.get((row, value), ()):
+                tallies[ref_lba] = tallies.get(ref_lba, 0) + 1
+        self.cpu_time += max(1, len(tallies)) * self.config.scan_compare_s
+        if not tallies:
+            return None
+        best = max(tallies, key=lambda k: tallies[k])
+        if tallies[best] < self.config.min_signature_match:
+            return None
+        return best
+
+    # ------------------------------------------------------------------
+    # Read path
+    # ------------------------------------------------------------------
+
+    def _read_one(self, lba: int) -> Tuple[float, np.ndarray]:
+        vb = self.cache.get(lba)
+        if vb is None:
+            latency, content, vb = self._read_miss(lba)
+        elif vb.is_associate or (vb.is_reference and vb.has_delta):
+            latency, content = self._read_via_delta(vb)
+        elif vb.has_data:
+            self.stats.bump("ram_data_hits")
+            latency = self.dram.access()
+            content = vb.data.copy()
+        elif vb.is_reference:
+            if vb.lba in self._shadowed_refs:
+                # The frozen SSD copy only serves dependents; the block's
+                # own content lives on the HDD data region.
+                latency = self.hdd.read(vb.lba, 1)
+                content = self.backing.get(vb.lba)
+                self._maybe_cache_data(vb, content, dirty=False)
+                self.stats.bump("shadowed_ref_reads")
+            else:
+                latency = self._ssd_read_latency(vb.lba)
+                content = self._ssd_data[vb.lba].copy()
+                self.stats.bump("ssd_ref_reads")
+                self.stats.bump("ssd_ref_direct_reads")
+        elif lba in self._spilled:
+            latency = self._ssd_read_latency(lba)
+            content = self._ssd_data[lba].copy()
+            self.stats.bump("ssd_spill_reads")
+        else:
+            # Independent block whose data block was evicted: back to HDD.
+            latency = self.hdd.read(lba, 1)
+            content = self.backing.get(lba)
+            self._maybe_cache_data(vb, content, dirty=False)
+            self.stats.bump("hdd_data_reads")
+        if not vb.signatures:
+            vb.signatures = block_signatures(content,
+                                             self.config.signature_scheme)
+        self.heatmap.record(vb.signatures)
+        return latency, content
+
+    def _read_miss(self, lba: int
+                   ) -> Tuple[float, np.ndarray, VirtualBlock]:
+        """Resolve a block with no cached virtual block."""
+        entry = self._delta_map.get(lba)
+        if entry is not None:
+            return self._read_miss_delta_mapped(lba, entry)
+        if lba in self._spilled:
+            latency = self._ssd_read_latency(lba)
+            content = self._ssd_data[lba].copy()
+            vb = self._install_virtual_block(
+                lba, BlockKind.INDEPENDENT, ssd_slot=self._slot_of[lba])
+            self.stats.bump("ssd_spill_reads")
+            return latency, content, vb
+        latency = self.hdd.read(lba, 1)
+        content = self.backing.get(lba)
+        vb = self._install_virtual_block(lba, BlockKind.INDEPENDENT)
+        self._maybe_cache_data(vb, content, dirty=False)
+        self.stats.bump("hdd_data_reads")
+        return latency, content, vb
+
+    def _read_miss_delta_mapped(self, lba: int, entry: _DeltaMapEntry
+                                ) -> Tuple[float, np.ndarray, VirtualBlock]:
+        """An evicted associate: reference from SSD, delta from the log."""
+        if entry.log_slot is None:
+            raise RuntimeError(
+                f"block {lba} delta-mapped but never flushed and not "
+                f"cached — eviction must flush first")
+        vb = self._install_virtual_block(lba, BlockKind.ASSOCIATE,
+                                         ref_lba=entry.ref_lba)
+        # Make room with headroom *before* unpacking the log block, so
+        # the siblings the mechanical read drags in can hydrate too.
+        self._reserve_for_log_fetch(vb)
+        latency, delta = self._fetch_delta_from_log(lba, entry)
+        latency += self._ssd_read_latency(entry.ref_lba)
+        content = apply_delta(delta, self._ssd_data[entry.ref_lba])
+        latency += self._decompress_cost()
+        if self._ensure_segment_capacity(vb, delta.size_bytes):
+            self.cache.attach_delta(vb, delta)
+        self._bump_associate_count(entry.ref_lba, +1)
+        self.stats.bump("log_delta_fetches")
+        return latency, content, vb
+
+    def _read_via_delta(self, vb: VirtualBlock) -> Tuple[float, np.ndarray]:
+        """Associate (or written reference): reference content + delta."""
+        ref_lba = vb.ref_lba if vb.is_associate else vb.lba
+        latency = 0.0
+        ref_vb = self.cache.get(ref_lba) if ref_lba != vb.lba else vb
+        if ref_vb is not None and ref_vb.has_data:
+            latency += self.dram.access()
+            self.stats.bump("ram_ref_hits")
+        else:
+            latency += self._ssd_read_latency(ref_lba)
+            self.stats.bump("ssd_ref_reads")
+        if vb.has_delta:
+            delta = vb.delta
+            latency += self.dram.access(vb.delta_segments_bytes)
+            self.stats.bump("ram_delta_hits")
+        else:
+            entry = self._delta_map[vb.lba]
+            self._reserve_for_log_fetch(vb)
+            log_latency, delta = self._fetch_delta_from_log(vb.lba, entry)
+            latency += log_latency
+            if self._ensure_segment_capacity(vb, delta.size_bytes):
+                self.cache.attach_delta(vb, delta)
+            self.stats.bump("log_delta_fetches")
+        content = apply_delta(delta, self._ssd_data[ref_lba])
+        latency += self._decompress_cost()
+        self.stats.bump("delta_reconstructions")
+        return latency, content
+
+    #: Segment-pool headroom a log fetch evicts for, as a multiple of a
+    #: typical delta block's worth of records — the mechanical read is
+    #: only amortised if its co-packed siblings have somewhere to live.
+    LOG_FETCH_HEADROOM_BYTES = 8 * 1024
+
+    def _reserve_for_log_fetch(self, vb: VirtualBlock) -> None:
+        """Best-effort eviction so an imminent log fetch can hydrate."""
+        if not self._ensure_segment_capacity(
+                vb, self.LOG_FETCH_HEADROOM_BYTES):
+            # Pool too small for headroom; the exact-size path in the
+            # caller still gets its chance.
+            return
+
+    def _fetch_delta_from_log(self, lba: int, entry: _DeltaMapEntry
+                              ) -> Tuple[float, Delta]:
+        """One HDD log read; hydrates every current sibling delta it holds.
+
+        This is the payoff of delta packing (Section 3.1): the mechanical
+        read that fetches one delta brings its whole delta block into RAM,
+        so immediately-following requests to the co-packed blocks hit RAM.
+        """
+        latency, records = self.log.read_block(entry.log_slot)
+        wanted: Optional[Delta] = None
+        for record in records:
+            current = self._delta_map.get(record.lba)
+            is_current = (current is not None
+                          and current.log_slot == entry.log_slot
+                          and current.ref_lba == record.ref_lba)
+            if record.lba == lba and is_current:
+                wanted = record.delta
+                continue
+            if not is_current:
+                continue
+            sibling = self.cache.get(record.lba, touch=False)
+            if sibling is not None and sibling.has_delta:
+                continue
+            if not self.segments.can_fit(record.delta.size_bytes):
+                continue
+            if sibling is None:
+                # Revive the co-packed block's metadata so the delta we
+                # already paid the mechanical read for stays usable —
+                # speculative, so never evict anyone to make room.
+                if self.cache.virtual_blocks_free < 1:
+                    continue
+                sibling = VirtualBlock(lba=record.lba,
+                                       kind=BlockKind.ASSOCIATE,
+                                       ref_lba=record.ref_lba)
+                self.cache.insert(sibling)
+                self._bump_associate_count(record.ref_lba, +1)
+            self.cache.attach_delta(sibling, record.delta)
+            sibling.delta_dirty = False
+            self.stats.bump("delta_hydrations")
+        if wanted is None:
+            raise RuntimeError(
+                f"log slot {entry.log_slot} does not hold the current "
+                f"delta for block {lba}")
+        return latency, wanted
+
+    # ------------------------------------------------------------------
+    # Write path
+    # ------------------------------------------------------------------
+
+    def _write_one(self, lba: int, content: np.ndarray) -> float:
+        signatures = block_signatures(content, self.config.signature_scheme)
+        self.heatmap.record(signatures)
+        vb = self.cache.get(lba)
+        if vb is None:
+            vb = self._revive_for_write(lba)
+        if vb.is_associate:
+            latency = self._write_associate(vb, content, signatures)
+        elif vb.is_reference:
+            latency = self._write_reference(vb, content)
+        else:
+            latency = self._write_independent(vb, content, signatures)
+        return latency
+
+    def _revive_for_write(self, lba: int) -> VirtualBlock:
+        """Recreate the virtual block for a write miss."""
+        entry = self._delta_map.get(lba)
+        if entry is not None:
+            vb = self._install_virtual_block(lba, BlockKind.ASSOCIATE,
+                                             ref_lba=entry.ref_lba)
+            self._bump_associate_count(entry.ref_lba, +1)
+            return vb
+        if lba in self._spilled:
+            return self._install_virtual_block(
+                lba, BlockKind.INDEPENDENT, ssd_slot=self._slot_of[lba])
+        return self._install_virtual_block(lba, BlockKind.INDEPENDENT)
+
+    def _write_associate(self, vb: VirtualBlock, content: np.ndarray,
+                         signatures: Tuple[int, ...]) -> float:
+        """Delta-derive against the reference; spill when the delta is big.
+
+        The reference read and the compression run concurrently with
+        request processing (Section 5.1), so the request only pays the RAM
+        buffering plus the exposed slice of the compression time; the SSD
+        read still occupies the device (background time).
+        """
+        ref_lba = vb.ref_lba
+        ref_vb = self.cache.get(ref_lba)
+        if ref_vb is None or not ref_vb.has_data:
+            self.background_time += self._ssd_read_latency(ref_lba)
+            self.stats.bump("ssd_ref_reads_background")
+        delta = encode_delta(content, self._ssd_data[ref_lba])
+        cpu = self.config.compress_s
+        self.cpu_time += cpu
+        latency = (self.dram.access()
+                   + cpu * self.config.compress_exposed_fraction)
+        if delta.size_bytes > self.config.delta_spill_bytes:
+            latency += self._spill_to_ssd(vb, content)
+            return latency
+        if not self._ensure_segment_capacity(vb, delta.size_bytes):
+            # Pool cannot hold this delta at all: spill instead.
+            latency += self._spill_to_ssd(vb, content)
+            return latency
+        self.cache.attach_delta(vb, delta)
+        vb.delta_dirty = True
+        vb.signatures = signatures
+        self.cache.drop_data(vb)  # content is now represented by the delta
+        self._map_delta(vb.lba, ref_lba)
+        self._mark_delta_dirty(vb.lba)
+        self.stats.bump("delta_writes")
+        return latency
+
+    def _write_reference(self, vb: VirtualBlock,
+                         content: np.ndarray) -> float:
+        """Writes to a reference update its own delta; its SSD copy and
+        signature stay frozen while associates depend on it."""
+        delta = encode_delta(content, self._ssd_data[vb.lba])
+        cpu = self.config.compress_s
+        self.cpu_time += cpu
+        latency = (self.dram.access()
+                   + cpu * self.config.compress_exposed_fraction)
+        if delta.is_identity:
+            # Content reverted to the frozen copy: drop any standing delta.
+            self.cache.drop_delta(vb)
+            self.cache.drop_data(vb)
+            self._unmap_delta(vb.lba)
+            self._dirty_delta_lbas.pop(vb.lba, None)
+            self._shadowed_refs.discard(vb.lba)
+            return latency
+        own_dependents = self._dependents_of(vb.lba)
+        has_own_entry = vb.lba in self._delta_map
+        external_dependents = own_dependents - (1 if has_own_entry else 0)
+        if delta.size_bytes > self.config.delta_spill_bytes:
+            if external_dependents == 0:
+                # Nothing depends on the frozen copy: refresh it in place.
+                self.background_time += self._ssd_write(vb.lba, content)
+                self.cache.drop_delta(vb)
+                self.cache.drop_data(vb)
+                self._unmap_delta(vb.lba)
+                self._dirty_delta_lbas.pop(vb.lba, None)
+                self._shadowed_refs.discard(vb.lba)
+                vb.signatures = block_signatures(
+                    content, self.config.signature_scheme)
+                self.stats.bump("reference_refreshes")
+                return latency
+            # Dependents pin the frozen copy, and the delta is too big to
+            # keep or log: *shadow* the reference — its current content
+            # takes the ordinary data path while the SSD copy lives on.
+            self.cache.drop_delta(vb)
+            self._unmap_delta(vb.lba)
+            self._dirty_delta_lbas.pop(vb.lba, None)
+            self._shadowed_refs.add(vb.lba)
+            if not self._maybe_cache_data(vb, content, dirty=True):
+                latency += self.hdd.write(vb.lba, 1)
+                self.backing.set(vb.lba, content)
+            self.stats.bump("reference_shadowed")
+            return latency
+        if not self._ensure_segment_capacity(vb, delta.size_bytes):
+            raise MemoryError(
+                "segment pool cannot hold a reference block's own delta")
+        self.cache.attach_delta(vb, delta)
+        self.cache.drop_data(vb)
+        vb.delta_dirty = True
+        self._map_delta(vb.lba, vb.lba)
+        self._mark_delta_dirty(vb.lba)
+        self._shadowed_refs.discard(vb.lba)
+        self.stats.bump("reference_delta_writes")
+        return latency
+
+    def _write_independent(self, vb: VirtualBlock, content: np.ndarray,
+                           signatures: Tuple[int, ...]) -> float:
+        if vb.lba in self._spilled:
+            # Spilled blocks stay SSD-resident: the prototype keeps
+            # writing their new data "directly to the SSD to release
+            # delta buffer" (Section 5.3) — these are exactly the random
+            # SSD writes Table 6 still counts against I-CASH.
+            vb.signatures = signatures
+            self.stats.bump("spilled_write_through")
+            return self._ssd_write(vb.lba, content)
+        latency = self.dram.access()
+        if not self._maybe_cache_data(vb, content, dirty=True):
+            # RAM data budget is irreducibly full: write through to HDD.
+            latency += self.hdd.write(vb.lba, 1)
+            self.backing.set(vb.lba, content)
+            self.stats.bump("hdd_write_through")
+        vb.signatures = signatures
+        self.stats.bump("independent_writes")
+        return latency
+
+    def _spill_to_ssd(self, vb: VirtualBlock, content: np.ndarray) -> float:
+        """Delta exceeded the threshold: store the whole block in the SSD
+        (the prototype's escape hatch, Section 5.3) and dissociate."""
+        if vb.is_associate:
+            self._bump_associate_count(vb.ref_lba, -1)
+        self.cache.drop_delta(vb)
+        self.cache.drop_data(vb)
+        self._unmap_delta(vb.lba)
+        self._dirty_delta_lbas.pop(vb.lba, None)
+        vb.kind = BlockKind.INDEPENDENT
+        vb.ref_lba = None
+        slot = self._acquire_ssd_slot(vb.lba)
+        if slot is None:
+            # SSD has no free slot: fall back to the independent path.
+            vb.ssd_slot = None
+            self.stats.bump("spill_fallbacks")
+            latency = self.dram.access()
+            if not self._maybe_cache_data(vb, content, dirty=True):
+                latency += self.hdd.write(vb.lba, 1)
+                self.backing.set(vb.lba, content)
+            return latency
+        vb.ssd_slot = slot
+        self._spilled.add(vb.lba)
+        self._ssd_data[vb.lba] = content.copy()
+        self.stats.bump("delta_spills")
+        return self._ssd_write(vb.lba, content)
+
+    # ------------------------------------------------------------------
+    # Flushing (Section 3.3's reliability/performance knob)
+    # ------------------------------------------------------------------
+
+    def _flush_deltas(self, background: bool) -> float:
+        if not self._dirty_delta_lbas:
+            return 0.0
+        if self.config.flush_order == "lba":
+            dirty_order = sorted(self._dirty_delta_lbas)
+        else:
+            dirty_order = list(self._dirty_delta_lbas)
+        records: List[DeltaRecord] = []
+        for lba in dirty_order:
+            vb = self.cache.get(lba, touch=False)
+            if vb is None or not vb.has_delta:
+                continue
+            ref_lba = vb.ref_lba if vb.is_associate else vb.lba
+            records.append(DeltaRecord(lba, ref_lba, vb.delta))
+        self._dirty_delta_lbas.clear()
+        if not records:
+            return 0.0
+        latency = self._append_to_log(records, relogging=False)
+        for record in records:
+            vb = self.cache.get(record.lba, touch=False)
+            if vb is not None:
+                vb.delta_dirty = False
+        self.stats.bump("delta_flushes")
+        self.stats.bump("delta_records_flushed", len(records))
+        if background:
+            self.background_time += latency
+            return 0.0
+        return latency
+
+    def _append_to_log(self, records: List[DeltaRecord],
+                       relogging: bool = False) -> float:
+        """Append records, rescuing any current deltas the wrapping log
+        overwrites.
+
+        This is the minimal log cleaning a circular delta log needs:
+        displaced records that are still each block's current delta get
+        re-appended.  The loop iterates because one rescue can displace
+        further current records when the live set sits contiguously in
+        the log; each round compacts the live set toward the head, so it
+        terminates whenever the live deltas fit in the region at all.  A
+        round count beyond the region size means they do not — a
+        configuration error worth failing loudly on.
+        """
+        total_latency = 0.0
+        pending = records
+        rounds = 0
+        while pending:
+            rounds += 1
+            if rounds > 3:
+                # Incremental rescue is chasing a dense live region around
+                # the ring (the classic cleaning livelock): fall back to a
+                # full compaction, which rewrites the live set once.
+                return total_latency + self._compact_log(pending)
+            latency, slots, displaced = self.log.append(pending)
+            total_latency += latency
+            self._update_log_slots(slots)
+            pending = self._current_displaced(displaced)
+            if pending:
+                self.stats.bump("log_rescued_records", len(pending))
+        return total_latency
+
+    def _update_log_slots(self, slots: List[int]) -> None:
+        """Point each just-flushed lba's delta map at its new log slot."""
+        for slot in slots:
+            for record in self.log.peek_block(slot):
+                entry = self._delta_map.get(record.lba)
+                if entry is not None and entry.ref_lba == record.ref_lba:
+                    entry.log_slot = slot
+
+    def _current_displaced(self, displaced) -> List[DeltaRecord]:
+        """Filter a wrap's displaced records down to the still-current."""
+        rescue: List[DeltaRecord] = []
+        rescued_lbas: Set[int] = set()
+        for old_slot, record in displaced:
+            entry = self._delta_map.get(record.lba)
+            if (entry is not None and entry.log_slot == old_slot
+                    and entry.ref_lba == record.ref_lba
+                    and record.lba not in rescued_lbas):
+                rescue.append(record)
+                rescued_lbas.add(record.lba)
+        return rescue
+
+    def _compact_log(self, pending: List[DeltaRecord]) -> float:
+        """Rewrite the log to hold exactly the live record set.
+
+        Gathers every block's current logged delta (plus the ``pending``
+        records mid-flush), resets the region and appends them in one
+        sequential sweep.  Raises when even the compacted live set does
+        not fit — the genuine too-small-log misconfiguration.
+        """
+        live: Dict[int, DeltaRecord] = {}
+        # Records still in flight supersede whatever the map points at —
+        # a mid-rescue block's slot is legitimately stale until written.
+        pending_lbas = {record.lba for record in pending}
+        for lba, entry in list(self._delta_map.items()):
+            if entry.log_slot is None or lba in pending_lbas:
+                continue
+            for record in self.log.peek_block(entry.log_slot):
+                if record.lba == lba and record.ref_lba == entry.ref_lba:
+                    live[lba] = record
+                    break
+            else:  # pragma: no cover - rescue keeps slots consistent
+                raise RuntimeError(
+                    f"delta map points block {lba} at log slot "
+                    f"{entry.log_slot} which no longer holds its record")
+        for record in pending:
+            live[record.lba] = record
+        records = list(live.values())
+        self.log.reset()
+        latency, slots, displaced = self.log.append(records)
+        if displaced:
+            raise RuntimeError(
+                "delta log too small: the live delta set does not fit "
+                "the log region even fully compacted; raise "
+                "config.log_blocks")
+        self._update_log_slots(slots)
+        self.stats.bump("log_compactions")
+        self.stats.bump("log_compacted_records", len(records))
+        return latency
+
+    def _flush_dirty_data(self, background: bool) -> float:
+        dirty = [vb for vb in self.cache.lru_order()
+                 if vb.data_dirty and vb.has_data]
+        if not dirty:
+            return 0.0
+        latency = 0.0
+        # Sort by lba so the write-back sweeps the disk in one direction.
+        for vb in sorted(dirty, key=lambda b: b.lba):
+            latency += self.hdd.write(vb.lba, 1)
+            self.backing.set(vb.lba, vb.data)
+            vb.data_dirty = False
+        self.stats.bump("data_writebacks", len(dirty))
+        if background:
+            self.background_time += latency
+            return 0.0
+        return latency
+
+    # ------------------------------------------------------------------
+    # Background scan
+    # ------------------------------------------------------------------
+
+    def _after_io(self) -> None:
+        self._io_count += 1
+        config = self.config
+        if self._io_count % config.scan_interval == 0:
+            self._run_scan()
+        if (config.heatmap_decay_interval
+                and self._io_count % config.heatmap_decay_interval == 0):
+            self.heatmap.decay(config.heatmap_decay_factor)
+        dirty_pressure = (len(self._dirty_delta_lbas)
+                          >= config.flush_dirty_count)
+        if self._io_count % config.flush_interval == 0 or dirty_pressure:
+            self._flush_deltas(background=True)
+            if self._io_count % config.flush_interval == 0:
+                self._flush_dirty_data(background=True)
+
+    def _scan_content(self, vb: VirtualBlock) -> Optional[np.ndarray]:
+        """Cheap (no device I/O) content resolution for the scanner."""
+        if vb.is_reference:
+            if vb.has_delta or vb.lba in self._shadowed_refs:
+                return None  # current content diverged; unstable anchor
+            return self._ssd_data.get(vb.lba)
+        if vb.has_data:
+            return vb.data
+        if vb.lba in self._spilled:
+            return self._ssd_data.get(vb.lba)
+        return None
+
+    def _run_scan(self) -> None:
+        config = self.config
+        needed = max(1, int(config.scan_window * 0.05))
+        if len(self._free_slots) < needed:
+            self._retire_cold_references(needed - len(self._free_slots))
+        result = self.scanner.scan(
+            self.cache, config.scan_window,
+            max_new_references=len(self._free_slots),
+            content_fn=self._scan_content)
+        self.cpu_time += result.cpu_time
+        self.background_time += result.cpu_time
+        for vb in result.new_references:
+            self._promote_reference(vb)
+        for assoc in result.associations:
+            self._apply_association(assoc.vb, assoc.ref_lba, assoc.delta)
+        self.stats.bump("scans")
+        self.stats.bump("scan_comparisons", result.comparisons)
+
+    def _promote_reference(self, vb: VirtualBlock) -> None:
+        content = self._scan_content(vb)
+        if content is None:  # pragma: no cover - scanner filtered already
+            return
+        content = content.copy()
+        was_spilled = vb.lba in self._spilled
+        if was_spilled:
+            # The SSD already holds exactly this content: reuse the slot.
+            slot = self._slot_of[vb.lba]
+            self._spilled.discard(vb.lba)
+        else:
+            slot = self._acquire_ssd_slot(vb.lba)
+            if slot is None:
+                return
+            self._ssd_data[vb.lba] = content
+            self.background_time += self._ssd_write(vb.lba, content)
+        if vb.data_dirty or was_spilled:
+            # Keep the HDD region consistent with the promoted copy so a
+            # later demotion (or recovery) never resurrects stale bytes.
+            self.background_time += self.hdd.write(vb.lba, 1)
+            self.backing.set(vb.lba, content)
+            vb.data_dirty = False
+        vb.kind = BlockKind.REFERENCE
+        vb.ssd_slot = slot
+        vb.ref_lba = None
+        vb.associate_count = 0
+        self.cache.drop_data(vb)  # SSD now serves it; free the RAM block
+        self.stats.bump("references_created")
+
+    def _apply_association(self, vb: VirtualBlock, ref_lba: int,
+                           delta: Delta) -> None:
+        if vb.is_reference or ref_lba == vb.lba:
+            return
+        ref_vb = self.cache.get(ref_lba, touch=False)
+        if ref_vb is None or not ref_vb.is_reference:
+            return  # the reference was retired between scan and apply
+        if not self._ensure_segment_capacity(vb, delta.size_bytes):
+            return
+        if vb.lba in self._spilled:
+            self._release_ssd_slot(vb.lba)
+            vb.ssd_slot = None
+        was_dirty = vb.data_dirty
+        self.cache.attach_delta(vb, delta)
+        if vb.has_data:
+            vb.data_dirty = False
+            self.cache.drop_data(vb)
+        vb.kind = BlockKind.ASSOCIATE
+        vb.ref_lba = ref_lba
+        self._map_delta(vb.lba, ref_lba)
+        # A dirty data block's content now lives only in the delta: it must
+        # reach the log before the virtual block can ever be evicted.
+        vb.delta_dirty = True
+        self._mark_delta_dirty(vb.lba)
+        if was_dirty:
+            self.stats.bump("associations_absorbed_dirty_data")
+        self._bump_associate_count(ref_lba, +1)
+        self.stats.bump("associates_created")
+
+    def _retire_cold_references(self, count: int) -> None:
+        """Demote references with no live associates, coldest first."""
+        retired = 0
+        for vb in self.cache.lru_order():
+            if retired >= count:
+                break
+            if not vb.is_reference or self._dependents_of(vb.lba) > 0:
+                continue
+            if vb.has_delta:
+                continue  # carries its own unlogged changes; leave it
+            self._release_ssd_slot(vb.lba)
+            vb.kind = BlockKind.INDEPENDENT
+            vb.ssd_slot = None
+            # A shadowed reference demotes to a plain independent block:
+            # its content already lives on the ordinary data path.
+            self._shadowed_refs.discard(vb.lba)
+            retired += 1
+            self.stats.bump("references_retired")
+
+    # ------------------------------------------------------------------
+    # Capacity management
+    # ------------------------------------------------------------------
+
+    def _install_virtual_block(self, lba: int, kind: BlockKind,
+                               ref_lba: Optional[int] = None,
+                               ssd_slot: Optional[int] = None
+                               ) -> VirtualBlock:
+        self._ensure_virtual_capacity()
+        vb = VirtualBlock(lba=lba, kind=kind, ref_lba=ref_lba,
+                          ssd_slot=ssd_slot)
+        self.cache.insert(vb)
+        return vb
+
+    def _ensure_virtual_capacity(self) -> None:
+        while self.cache.virtual_blocks_free < 1:
+            victim = self.cache.find_virtual_victim()
+            if victim is None:
+                raise MemoryError(
+                    "every cached virtual block is a reference; raise "
+                    "max_virtual_blocks or lower the SSD budget")
+            self._evict_virtual_block(victim)
+
+    def _evict_virtual_block(self, victim: VirtualBlock) -> None:
+        if victim.delta_dirty:
+            self._flush_deltas(background=True)
+        if victim.data_dirty and victim.has_data:
+            self.background_time += self.hdd.write(victim.lba, 1)
+            self.backing.set(victim.lba, victim.data)
+            victim.data_dirty = False
+        if victim.is_associate:
+            self._bump_associate_count(victim.ref_lba, -1)
+        self.cache.remove(victim.lba)
+        self.stats.bump("virtual_evictions")
+
+    def _maybe_cache_data(self, vb: VirtualBlock, content: np.ndarray,
+                          dirty: bool) -> bool:
+        """Attach a RAM data block if the budget allows (evicting others).
+
+        Returns False when no budget could be made (the caller falls back
+        to a write-through or serves straight from the device).
+        """
+        if not vb.has_data:
+            while self.cache.data_blocks_free < 1:
+                victim = self.cache.find_data_victim()
+                if victim is None or victim is vb:
+                    return False
+                if victim.data_dirty:
+                    self.background_time += self.hdd.write(victim.lba, 1)
+                    self.backing.set(victim.lba, victim.data)
+                self.cache.drop_data(victim)
+                self.stats.bump("data_evictions")
+        self.cache.attach_data(vb, content.copy())
+        vb.data_dirty = dirty
+        return True
+
+    def _ensure_segment_capacity(self, vb: VirtualBlock,
+                                 nbytes: int) -> bool:
+        """Make room in the segment pool for ``vb`` to hold ``nbytes``.
+
+        Accounts for the segments ``vb`` already holds (they are freed on
+        re-attach).  Applies the paper's delta-replacement policy: evict
+        the first non-reference delta holder from the LRU tail — which
+        *removes* that virtual block ("delta replacement leads to virtual
+        block replacement"), its delta staying reachable through the log.
+        """
+        need = self.segments.segments_for(nbytes)
+        if need > self.segments.capacity_segments:
+            return False
+        if vb.delta_segments_bytes:
+            # Re-attaching frees the old allocation first.
+            need -= self.segments.segments_for(vb.delta_segments_bytes)
+        while self.segments.free_segments < need:
+            victim = self.cache.find_delta_victim()
+            if victim is None or victim is vb:
+                return False
+            if victim.delta_dirty:
+                self._flush_deltas(background=True)
+            self._evict_virtual_block(victim)
+            self.stats.bump("delta_evictions")
+        return True
+
+    # ------------------------------------------------------------------
+    # SSD slot management
+    # ------------------------------------------------------------------
+
+    def _acquire_ssd_slot(self, lba: int) -> Optional[int]:
+        if not self._free_slots:
+            return None
+        slot = self._free_slots.pop()
+        self._slot_of[lba] = slot
+        return slot
+
+    def _release_ssd_slot(self, lba: int) -> None:
+        slot = self._slot_of.pop(lba, None)
+        if slot is None:
+            return
+        self.ssd.trim(slot, 1)
+        self._free_slots.append(slot)
+        self._ssd_data.pop(lba, None)
+        self._spilled.discard(lba)
+
+    def _ssd_read_latency(self, lba: int) -> float:
+        count = getattr(self, "_request_ssd_reads", 0)
+        self._request_ssd_reads = count + 1
+        if count:
+            return self.ssd.read_followup(self._slot_of[lba])
+        return self.ssd.read(self._slot_of[lba], 1)
+
+    def _ssd_write(self, lba: int, content: np.ndarray) -> float:
+        self._ssd_data[lba] = content.copy()
+        return self.ssd.write(self._slot_of[lba], 1)
+
+    def _bump_associate_count(self, ref_lba: int, amount: int) -> None:
+        ref_vb = self.cache.get(ref_lba, touch=False)
+        if ref_vb is not None:
+            ref_vb.associate_count = max(0, ref_vb.associate_count + amount)
+
+    # ------------------------------------------------------------------
+    # Delta-map maintenance (with reference dependent counting)
+    # ------------------------------------------------------------------
+
+    def _map_delta(self, lba: int, ref_lba: int) -> _DeltaMapEntry:
+        """Record that ``lba``'s content is a delta against ``ref_lba``."""
+        self._unmap_delta(lba)
+        entry = _DeltaMapEntry(ref_lba, None)
+        self._delta_map[lba] = entry
+        self._ref_dependents[ref_lba] = \
+            self._ref_dependents.get(ref_lba, 0) + 1
+        return entry
+
+    def _unmap_delta(self, lba: int) -> None:
+        old = self._delta_map.pop(lba, None)
+        if old is None:
+            return
+        remaining = self._ref_dependents.get(old.ref_lba, 0) - 1
+        if remaining > 0:
+            self._ref_dependents[old.ref_lba] = remaining
+        else:
+            self._ref_dependents.pop(old.ref_lba, None)
+
+    def _dependents_of(self, ref_lba: int) -> int:
+        return self._ref_dependents.get(ref_lba, 0)
+
+    def _mark_delta_dirty(self, lba: int) -> None:
+        """Queue a delta for the next flush; re-dirtying moves the block
+        to the tail so arrival order tracks the *latest* write burst."""
+        self._dirty_delta_lbas[lba] = None
+        self._dirty_delta_lbas.move_to_end(lba)
+
+    def _decompress_cost(self) -> float:
+        self.cpu_time += self.config.decompress_s
+        return self.config.decompress_s
+
+    # ------------------------------------------------------------------
+    # Introspection for reports, tests and recovery
+    # ------------------------------------------------------------------
+
+    def block_kind_counts(self) -> Dict[str, int]:
+        """Reference / associate / independent population (Section 5.1's
+        1 % / 85 % / 14 % breakdown)."""
+        counts = {"reference": 0, "associate": 0, "independent": 0}
+        for vb in self.cache.lru_order():
+            counts[vb.kind.value] += 1
+        # Delta-mapped blocks whose virtual block was evicted are still
+        # logically associates.
+        for lba, entry in self._delta_map.items():
+            if lba not in self.cache and entry.ref_lba != lba:
+                counts["associate"] += 1
+        return counts
+
+    def ssd_content_snapshot(self) -> Dict[int, np.ndarray]:
+        """Copy of the SSD's durable content keyed by lba (recovery)."""
+        return {lba: data.copy() for lba, data in self._ssd_data.items()}
+
+    def delta_map_snapshot(self) -> Dict[int, Tuple[int, Optional[int]]]:
+        """Durable delta metadata: lba -> (ref_lba, log_slot).
+
+        Section 3.3 flushes metadata alongside dirty deltas, so recovery
+        may consult this map to tell current log records from stale ones.
+        """
+        return {lba: (entry.ref_lba, entry.log_slot)
+                for lba, entry in self._delta_map.items()}
+
+    @property
+    def reference_lbas(self) -> Set[int]:
+        return {vb.lba for vb in self.cache.references()}
+
+    @property
+    def spilled_lbas(self) -> Set[int]:
+        return set(self._spilled)
+
+    @property
+    def shadowed_reference_lbas(self) -> Set[int]:
+        """References whose own content bypasses their frozen SSD copy."""
+        return set(self._shadowed_refs)
+
+    def describe(self) -> str:
+        """A human-readable status report of this storage element.
+
+        Covers the quantities an operator would ask about: block
+        population, RAM budgets, SSD occupancy and wear, log state and
+        the dirty (crash-loss) window.
+        """
+        counts = self.block_kind_counts()
+        total = max(1, sum(counts.values()))
+        pool = self.segments
+        lines = [
+            f"I-CASH element: {self.capacity_blocks} logical blocks "
+            f"({self.capacity_blocks * 4096 / 2**20:.0f} MiB)",
+            "block population:",
+        ]
+        for kind in ("reference", "associate", "independent"):
+            lines.append(f"  {kind:<12} {counts[kind]:>7} "
+                         f"({counts[kind] / total:6.1%})")
+        lines.extend([
+            "ram:",
+            f"  data blocks   {self.cache.data_blocks_used:>7} / "
+            f"{self.cache.max_data_blocks}",
+            f"  delta pool    {pool.used_segments:>7} / "
+            f"{pool.capacity_segments} segments "
+            f"(peak {pool.peak_segments})",
+            f"  virtual blocks{len(self.cache):>7} / "
+            f"{self.cache.max_virtual_blocks}",
+            "ssd:",
+            f"  slots used    "
+            f"{self.config.ssd_capacity_blocks - len(self._free_slots):>7}"
+            f" / {self.config.ssd_capacity_blocks}"
+            f" ({len(self._spilled)} spilled, "
+            f"{len(self._shadowed_refs)} shadowed refs)",
+            f"  host writes   {self.ssd.stats.count('write_blocks'):>7} "
+            f"pages, write amplification "
+            f"{self.ssd.write_amplification:.2f}",
+            f"  erases        {self.ssd.total_erases:>7}",
+            "log:",
+            f"  medium        "
+            f"{'nvram' if self.nvram is not None else 'hdd'}",
+            f"  blocks written{self.log.blocks_written:>7} "
+            f"(region {self.config.log_blocks})",
+            f"  dirty deltas  {len(self._dirty_delta_lbas):>7} "
+            f"(the crash-loss window)",
+            f"  mapped blocks {len(self._delta_map):>7}",
+        ])
+        return "\n".join(lines)

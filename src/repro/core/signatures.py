@@ -1,0 +1,85 @@
+"""Content sub-signatures.
+
+Section 4.2: each 4 KB block is divided into eight 512 B sub-blocks and a
+1-byte *sub-signature* is computed per sub-block as the sum of the bytes
+at offsets 0, 16, 32 and 64 (mod 256).  The paper deliberately avoids
+cryptographic hashing here: hashing detects *identical* content, but a
+single changed byte destroys the hash, which hurts *similarity* detection
+— and similarity, not identity, is what pairs blocks with reference
+blocks.
+
+A hash-based scheme is provided anyway so the ablation bench
+(``bench_ablation_signature_scheme``) can quantify that design choice.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+from typing import Tuple
+
+import numpy as np
+
+from repro.sim.request import BLOCK_SIZE
+
+#: Number of sub-blocks per 4 KB block.
+SUB_BLOCKS = 8
+#: Bytes per sub-block.
+SUB_BLOCK_BYTES = BLOCK_SIZE // SUB_BLOCKS
+#: Byte offsets within a sub-block that the sampled signature sums.
+SAMPLE_OFFSETS = (0, 16, 32, 64)
+#: Number of possible values of one sub-signature.
+SIGNATURE_VALUES = 256
+
+
+class SignatureScheme(enum.Enum):
+    """How sub-signatures are derived from sub-block content."""
+
+    #: The paper's scheme: sum of four sampled bytes, mod 256.  Cheap, and
+    #: tolerant of changes outside the sampled offsets — which is what
+    #: makes it a *similarity* signature.
+    SAMPLED = "sampled"
+    #: First byte of SHA-1 over the whole sub-block.  Detects identity
+    #: only; kept for the ablation.
+    HASH = "hash"
+
+
+def block_signatures(block: np.ndarray,
+                     scheme: SignatureScheme = SignatureScheme.SAMPLED,
+                     ) -> Tuple[int, ...]:
+    """The 8-tuple of sub-signatures of a 4 KB block."""
+    if block.nbytes != BLOCK_SIZE:
+        raise ValueError(
+            f"signatures are defined on {BLOCK_SIZE}-byte blocks, "
+            f"got {block.nbytes}")
+    if scheme is SignatureScheme.SAMPLED:
+        return _sampled_signatures(block)
+    return _hash_signatures(block)
+
+
+def _sampled_signatures(block: np.ndarray) -> Tuple[int, ...]:
+    view = block.reshape(SUB_BLOCKS, SUB_BLOCK_BYTES)
+    # Sum the four sampled columns per sub-block; uint8 overflow wraps
+    # naturally at 256, matching the paper's 1-byte signature.
+    sampled = view[:, list(SAMPLE_OFFSETS)].astype(np.uint32)
+    return tuple(int(s) & 0xFF for s in sampled.sum(axis=1))
+
+
+def _hash_signatures(block: np.ndarray) -> Tuple[int, ...]:
+    view = block.reshape(SUB_BLOCKS, SUB_BLOCK_BYTES)
+    return tuple(
+        hashlib.sha1(view[i].tobytes()).digest()[0]
+        for i in range(SUB_BLOCKS))
+
+
+def signature_overlap(a: Tuple[int, ...], b: Tuple[int, ...]) -> int:
+    """Positions at which two signature tuples agree.
+
+    Agreement at position ``i`` means sub-block ``i`` of the two blocks
+    *probably* carries similar content; the scanner requires a minimum
+    overlap before paying for a real delta encode.
+    """
+    if len(a) != len(b):
+        raise ValueError(
+            f"signature tuples differ in length: {len(a)} vs {len(b)}")
+    return sum(1 for x, y in zip(a, b) if x == y)

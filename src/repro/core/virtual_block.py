@@ -1,0 +1,89 @@
+"""Virtual blocks: the unit of I-CASH metadata.
+
+Section 4.3: "Each virtual block contains the LBA address, the signature,
+the pointer to the reference block, the pointer to data block, and the
+pointer to delta blocks.  A virtual block can be one of three different
+types: reference block, associate block, or independent block."
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.delta.encoder import Delta
+
+
+class BlockKind(enum.Enum):
+    """The three virtual-block types of Section 4.3."""
+
+    #: No associated reference block; its content lives in its data block
+    #: (RAM) and/or on the HDD data region.
+    INDEPENDENT = "independent"
+    #: Anchored in the SSD; other blocks delta-compress against it.
+    REFERENCE = "reference"
+    #: Content = reference block content + delta.
+    ASSOCIATE = "associate"
+
+
+@dataclass
+class VirtualBlock:
+    """Metadata for one logical block under I-CASH management."""
+
+    lba: int
+    kind: BlockKind = BlockKind.INDEPENDENT
+    #: Sub-signatures of the block's *current* content.  For reference
+    #: blocks the signature is frozen at selection time (Section 4.3: "the
+    #: signature of the block does not change since its data is being
+    #: referred").
+    signatures: Tuple[int, ...] = ()
+    #: LBA of the reference this block compresses against (associates, and
+    #: reference blocks written since selection — they delta against their
+    #: own frozen SSD copy).
+    ref_lba: Optional[int] = None
+    #: Cached full content, when a RAM data block is allocated to it.
+    data: Optional[np.ndarray] = None
+    #: In-RAM delta, when one is held in the segment pool.
+    delta: Optional[Delta] = None
+    #: Segment-pool bytes currently accounted to this block's delta.
+    delta_segments_bytes: int = 0
+    #: Delta modified since the last flush to the HDD log.
+    delta_dirty: bool = False
+    #: Data block modified since the last write-back to the HDD.
+    data_dirty: bool = False
+    #: For reference blocks and spilled blocks: slot in the SSD store.
+    ssd_slot: Optional[int] = None
+    #: Number of live associate blocks anchored to this reference.
+    associate_count: int = 0
+
+    @property
+    def is_reference(self) -> bool:
+        return self.kind is BlockKind.REFERENCE
+
+    @property
+    def is_associate(self) -> bool:
+        return self.kind is BlockKind.ASSOCIATE
+
+    @property
+    def is_independent(self) -> bool:
+        return self.kind is BlockKind.INDEPENDENT
+
+    @property
+    def has_data(self) -> bool:
+        return self.data is not None
+
+    @property
+    def has_delta(self) -> bool:
+        return self.delta is not None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        flags = "".join((
+            "D" if self.has_data else "-",
+            "d" if self.has_delta else "-",
+            "*" if self.delta_dirty or self.data_dirty else " ",
+        ))
+        return (f"VirtualBlock(lba={self.lba}, {self.kind.value}, "
+                f"ref={self.ref_lba}, {flags})")

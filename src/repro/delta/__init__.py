@@ -1,0 +1,30 @@
+"""Delta compression machinery.
+
+Three layers, bottom-up:
+
+* :mod:`repro.delta.encoder` — a byte-range delta codec: encodes one 4 KB
+  block as the set of byte runs where it differs from a reference block,
+  and applies such a delta back onto the reference to reconstruct the
+  block.
+* :mod:`repro.delta.segments` — the 64-byte segment allocator the paper
+  uses to manage delta storage in RAM (Section 4.3: "Delta blocks are
+  managed using a linked list of 64-bytes segments").
+* :mod:`repro.delta.packer` — packs many serialized deltas into 4 KB
+  *delta blocks* appended sequentially to the HDD log, so one mechanical
+  operation carries many logical I/Os (the core of the paper's
+  performance argument), and unpacks them again on read or recovery.
+"""
+
+from repro.delta.encoder import Delta, apply_delta, encode_delta
+from repro.delta.packer import DeltaBlockPacker, DeltaLog, DeltaRecord
+from repro.delta.segments import SegmentPool
+
+__all__ = [
+    "Delta",
+    "DeltaBlockPacker",
+    "DeltaLog",
+    "DeltaRecord",
+    "SegmentPool",
+    "apply_delta",
+    "encode_delta",
+]

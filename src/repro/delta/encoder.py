@@ -1,0 +1,154 @@
+"""Byte-range delta codec.
+
+A delta represents a target block as the list of byte runs in which it
+differs from a reference block.  This is the "delta-coding to eliminate
+data redundancy" of Section 4.2: the paper reports that typical writes
+change only 5–20 % of a block's bits, so a run-based encoding shrinks a
+4 KB block to a few hundred bytes.
+
+Encoding walks the XOR mask between target and reference (vectorised with
+numpy), extracts maximal runs of differing bytes, and merges runs whose
+gap is smaller than the per-run header overhead — merging is never worse
+and usually better.
+
+Wire format (used by the HDD log packer and by crash recovery)::
+
+    u16 run_count | run_count x (u16 offset, u16 length) | run payloads
+
+All offsets/lengths fit in u16 because blocks are 4 096 bytes.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.sim.request import BLOCK_SIZE
+
+#: Per-run header bytes in both the in-memory size model and wire format.
+RUN_HEADER_BYTES = 4
+#: Fixed per-delta header bytes (the run count).
+DELTA_HEADER_BYTES = 2
+#: Runs closer than this many identical bytes are merged: carrying the gap
+#: bytes verbatim costs less than a fresh run header.
+MERGE_GAP = RUN_HEADER_BYTES
+
+
+@dataclass(frozen=True)
+class Delta:
+    """An immutable delta: byte runs that replace reference content.
+
+    Attributes:
+        runs: ``(offset, payload)`` pairs, sorted by offset and
+            non-overlapping; ``payload`` is a ``bytes`` object.
+    """
+
+    runs: Tuple[Tuple[int, bytes], ...]
+
+    @property
+    def size_bytes(self) -> int:
+        """Encoded size: what the delta costs in RAM segments or log space."""
+        return DELTA_HEADER_BYTES + sum(
+            RUN_HEADER_BYTES + len(payload) for _, payload in self.runs)
+
+    @property
+    def is_identity(self) -> bool:
+        """True when target and reference were byte-identical."""
+        return not self.runs
+
+    @property
+    def changed_bytes(self) -> int:
+        return sum(len(payload) for _, payload in self.runs)
+
+    def serialize(self) -> bytes:
+        """Encode to the wire format used in HDD delta blocks."""
+        parts = [struct.pack("<H", len(self.runs))]
+        for offset, payload in self.runs:
+            parts.append(struct.pack("<HH", offset, len(payload)))
+        for _, payload in self.runs:
+            parts.append(payload)
+        return b"".join(parts)
+
+    @classmethod
+    def deserialize(cls, blob: bytes) -> "Delta":
+        """Decode from the wire format; raises ``ValueError`` on corruption."""
+        if len(blob) < DELTA_HEADER_BYTES:
+            raise ValueError("delta blob shorter than its header")
+        (run_count,) = struct.unpack_from("<H", blob, 0)
+        pos = DELTA_HEADER_BYTES
+        headers: List[Tuple[int, int]] = []
+        for _ in range(run_count):
+            if pos + RUN_HEADER_BYTES > len(blob):
+                raise ValueError("truncated delta run header")
+            offset, length = struct.unpack_from("<HH", blob, pos)
+            headers.append((offset, length))
+            pos += RUN_HEADER_BYTES
+        runs: List[Tuple[int, bytes]] = []
+        for offset, length in headers:
+            if pos + length > len(blob):
+                raise ValueError("truncated delta run payload")
+            runs.append((offset, bytes(blob[pos:pos + length])))
+            pos += length
+        return cls(runs=tuple(runs))
+
+
+def _diff_runs(target: np.ndarray, reference: np.ndarray) -> List[Tuple[int, int]]:
+    """Maximal (start, end) runs where the two arrays differ."""
+    mask = target != reference
+    if not mask.any():
+        return []
+    # Transitions of the padded mask give run boundaries.
+    padded = np.empty(mask.size + 2, dtype=bool)
+    padded[0] = padded[-1] = False
+    padded[1:-1] = mask
+    edges = np.flatnonzero(padded[1:] != padded[:-1])
+    starts = edges[0::2]
+    ends = edges[1::2]
+    return list(zip(starts.tolist(), ends.tolist()))
+
+
+def encode_delta(target: np.ndarray, reference: np.ndarray) -> Delta:
+    """Encode ``target`` as a delta against ``reference``.
+
+    Both arguments must be ``uint8`` arrays of :data:`BLOCK_SIZE` bytes.
+    """
+    if target.nbytes != BLOCK_SIZE or reference.nbytes != BLOCK_SIZE:
+        raise ValueError(
+            f"delta codec operates on {BLOCK_SIZE}-byte blocks, got "
+            f"{target.nbytes} and {reference.nbytes}")
+    raw_runs = _diff_runs(target, reference)
+    if not raw_runs:
+        return Delta(runs=())
+    # Merge runs separated by gaps too small to be worth a run header.
+    merged: List[Tuple[int, int]] = [raw_runs[0]]
+    for start, end in raw_runs[1:]:
+        prev_start, prev_end = merged[-1]
+        if start - prev_end <= MERGE_GAP:
+            merged[-1] = (prev_start, end)
+        else:
+            merged.append((start, end))
+    runs = tuple((start, target[start:end].tobytes())
+                 for start, end in merged)
+    return Delta(runs=runs)
+
+
+def apply_delta(delta: Delta, reference: np.ndarray) -> np.ndarray:
+    """Reconstruct the target block by patching ``reference``.
+
+    Returns a fresh array; the reference is never modified in place (a
+    reference block may serve many associate blocks simultaneously).
+    """
+    if reference.nbytes != BLOCK_SIZE:
+        raise ValueError(
+            f"reference must be {BLOCK_SIZE} bytes, got {reference.nbytes}")
+    target = reference.copy()
+    for offset, payload in delta.runs:
+        end = offset + len(payload)
+        if end > BLOCK_SIZE:
+            raise ValueError(
+                f"delta run [{offset}, {end}) exceeds block size")
+        target[offset:end] = np.frombuffer(payload, dtype=np.uint8)
+    return target

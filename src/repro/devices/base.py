@@ -1,0 +1,82 @@
+"""Common device interface.
+
+Every device model exposes two operations — ``read`` and ``write`` over a
+span of 4 KB blocks — that return the *service latency in seconds* for the
+operation.  Devices also keep their own operation counters and accumulated
+busy time, which the energy model (:mod:`repro.metrics.energy`) integrates
+over.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from repro.sim.stats import StatsCollector
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Base class for device parameter bundles.
+
+    Concrete devices define frozen dataclasses extending this with their
+    timing and geometry parameters; freezing them keeps a run's device
+    configuration immutable and hashable (handy for experiment grids).
+    """
+
+    name: str = "device"
+
+
+class Device(abc.ABC):
+    """Abstract block device addressed in 4 KB logical blocks."""
+
+    def __init__(self, capacity_blocks: int, name: str) -> None:
+        if capacity_blocks <= 0:
+            raise ValueError(
+                f"capacity must be positive, got {capacity_blocks}")
+        self.capacity_blocks = capacity_blocks
+        self.name = name
+        self.stats = StatsCollector()
+        #: Total time (s) the device spent servicing operations.
+        self.busy_time = 0.0
+
+    # -- core operations --------------------------------------------------
+
+    @abc.abstractmethod
+    def read(self, lba: int, nblocks: int = 1) -> float:
+        """Service a read of ``nblocks`` blocks at ``lba``; return seconds."""
+
+    @abc.abstractmethod
+    def write(self, lba: int, nblocks: int = 1) -> float:
+        """Service a write of ``nblocks`` blocks at ``lba``; return seconds."""
+
+    # -- shared helpers ---------------------------------------------------
+
+    def _check_span(self, lba: int, nblocks: int) -> None:
+        """Validate that a request fits inside the device."""
+        if nblocks < 1:
+            raise ValueError(f"nblocks must be >= 1, got {nblocks}")
+        if lba < 0 or lba + nblocks > self.capacity_blocks:
+            raise ValueError(
+                f"span [{lba}, {lba + nblocks}) outside device "
+                f"{self.name} of {self.capacity_blocks} blocks")
+
+    def _account(self, kind: str, nblocks: int, latency: float) -> float:
+        """Record an operation's counters and busy time; return latency."""
+        self.stats.bump(f"{kind}_ops")
+        self.stats.bump(f"{kind}_blocks", nblocks)
+        self.stats.record_latency(kind, latency)
+        self.busy_time += latency
+        return latency
+
+    @property
+    def read_ops(self) -> int:
+        return self.stats.count("read_ops")
+
+    @property
+    def write_ops(self) -> int:
+        return self.stats.count("write_ops")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"{type(self).__name__}(name={self.name!r}, "
+                f"capacity_blocks={self.capacity_blocks})")

@@ -1,0 +1,85 @@
+"""RAID0 striping across multiple hard disk drives.
+
+The paper's second baseline is Linux MD RAID0 over four SATA disks.
+RAID0 stripes consecutive chunks round-robin across member disks, so a
+large sequential request is serviced in parallel (latency = slowest
+member) while a small random request still pays one full mechanical
+access on a single disk — exactly why the paper observes RAID0 doing
+poorly on small random transaction workloads (Section 5.1, TPC-C).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.devices.base import Device
+from repro.devices.hdd import HardDiskDrive, HDDSpec
+
+
+class RAID0Array(Device):
+    """Stripe a logical block space across N identical HDDs.
+
+    Addressing: chunk ``c`` (of ``chunk_blocks`` logical blocks) lives on
+    disk ``c % ndisks`` at chunk offset ``c // ndisks``.
+    """
+
+    def __init__(self, capacity_blocks: int, ndisks: int = 4,
+                 chunk_blocks: int = 16,
+                 hdd_spec: HDDSpec = HDDSpec()) -> None:
+        if ndisks < 1:
+            raise ValueError(f"need at least one disk, got {ndisks}")
+        if chunk_blocks < 1:
+            raise ValueError(f"chunk must be >= 1 block, got {chunk_blocks}")
+        super().__init__(capacity_blocks, f"raid0x{ndisks}")
+        self.ndisks = ndisks
+        self.chunk_blocks = chunk_blocks
+        per_disk = -(-capacity_blocks // ndisks) + chunk_blocks
+        self.disks: List[HardDiskDrive] = [
+            HardDiskDrive(per_disk, hdd_spec) for _ in range(ndisks)]
+
+    def _split(self, lba: int, nblocks: int) -> Dict[int, List[tuple]]:
+        """Map a logical span to per-disk (physical lba, nblocks) extents."""
+        per_disk: Dict[int, List[tuple]] = {}
+        block = lba
+        remaining = nblocks
+        while remaining > 0:
+            chunk = block // self.chunk_blocks
+            offset_in_chunk = block % self.chunk_blocks
+            disk = chunk % self.ndisks
+            disk_chunk = chunk // self.ndisks
+            take = min(remaining, self.chunk_blocks - offset_in_chunk)
+            phys = disk_chunk * self.chunk_blocks + offset_in_chunk
+            per_disk.setdefault(disk, []).append((phys, take))
+            block += take
+            remaining -= take
+        return per_disk
+
+    def _service(self, kind: str, lba: int, nblocks: int) -> float:
+        self._check_span(lba, nblocks)
+        per_disk = self._split(lba, nblocks)
+        # Member disks work in parallel; the request completes when the
+        # slowest member finishes its extents (serviced in order per disk).
+        slowest = 0.0
+        for disk_idx, extents in per_disk.items():
+            disk = self.disks[disk_idx]
+            disk_time = 0.0
+            for phys, take in extents:
+                if kind == "read":
+                    disk_time += disk.read(phys, take)
+                else:
+                    disk_time += disk.write(phys, take)
+            slowest = max(slowest, disk_time)
+        if len(per_disk) > 1:
+            self.stats.bump("parallel_requests")
+        return self._account(kind, nblocks, slowest)
+
+    def read(self, lba: int, nblocks: int = 1) -> float:
+        return self._service("read", lba, nblocks)
+
+    def write(self, lba: int, nblocks: int = 1) -> float:
+        return self._service("write", lba, nblocks)
+
+    @property
+    def member_busy_time(self) -> float:
+        """Summed busy time across member disks (energy accounting)."""
+        return sum(d.busy_time for d in self.disks)

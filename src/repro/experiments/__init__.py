@@ -1,0 +1,24 @@
+"""Experiment harness regenerating every table and figure.
+
+* :mod:`repro.experiments.systems` — builds the five storage
+  architectures of Section 4.4 for a given workload (same SSD budget
+  rules as the paper).
+* :mod:`repro.experiments.runner` — closed-loop trace replay with
+  transaction accounting; produces one :class:`RunResult` per
+  (workload, system) pair.
+* :mod:`repro.experiments.paperdata` — the numbers the paper reports, for
+  side-by-side comparison.
+* :mod:`repro.experiments.figures` — one function per figure/table.
+* :mod:`repro.experiments.report` — text rendering of
+  measured-vs-paper tables.
+"""
+
+from repro.experiments.runner import RunResult, run_benchmark
+from repro.experiments.systems import SYSTEM_NAMES, make_system
+
+__all__ = [
+    "RunResult",
+    "SYSTEM_NAMES",
+    "make_system",
+    "run_benchmark",
+]

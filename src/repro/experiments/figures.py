@@ -1,0 +1,351 @@
+"""One entry point per paper figure and table.
+
+Each ``figure*`` function runs the relevant workload across the five
+architectures (sharing runs between sub-figures of the same benchmark)
+and returns a :class:`FigureResult` holding the measured values, the
+paper's published values, and rendering/shape-check helpers.
+
+Absolute values are not expected to match the paper (the substrate is a
+simulator, the workloads synthetic, the scale 1/30th); the deliverable is
+the *shape*: who wins, by roughly what factor, and where the crossovers
+fall.  :meth:`FigureResult.shape_score` quantifies exactly that — the
+fraction of the paper's pairwise system orderings the reproduction
+preserves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.experiments import paperdata
+from repro.experiments.report import (comparison_table, normalize,
+                                      render_shape_check, shape_score)
+from repro.experiments.runner import RunResult, run_grid
+from repro.experiments.systems import SYSTEM_NAMES
+from repro.workloads import (HadoopWorkload, LoadSimWorkload,
+                             MultiVMWorkload, RUBiSWorkload,
+                             SpecSFSWorkload, SysBenchWorkload,
+                             TPCCWorkload)
+
+#: Default request count per benchmark run; benches may raise it.
+DEFAULT_REQUESTS = 10000
+#: Default seed (the paper's publication year, naturally).
+DEFAULT_SEED = 2011
+#: Warmup fraction excluded from measurement.
+DEFAULT_WARMUP = 0.4
+
+
+@dataclass
+class FigureResult:
+    """Measured-vs-paper outcome of one figure."""
+
+    figure: str
+    title: str
+    metric: str
+    better: str
+    measured: Dict[str, float]
+    paper: Dict[str, float]
+    runs: Dict[str, RunResult] = field(default_factory=dict)
+
+    def shape_score(self) -> float:
+        """Fraction of the paper's pairwise orderings preserved."""
+        return shape_score(self.measured, self.paper)
+
+    def render(self) -> str:
+        table = comparison_table(
+            f"{self.figure}: {self.title}", SYSTEM_NAMES, self.measured,
+            self.paper, unit=self.metric, better=self.better,
+            precision=2)
+        return table + "\n" + render_shape_check(self.measured, self.paper)
+
+    def render_bars(self) -> str:
+        """The figure as the paper draws it: horizontal bars, measured
+        (solid) over the paper's series (light)."""
+        from repro.experiments.plotting import ascii_bars
+        header = f"{self.figure}: {self.title} ({self.better} is better)"
+        bars = ascii_bars(self.measured, SYSTEM_NAMES, unit=self.metric,
+                          reference=self.paper)
+        return f"{header}\n{bars}"
+
+
+# ----------------------------------------------------------------------
+# Shared run cache: Figure 6(a), 6(b) and 7 all come from one SysBench
+# grid; rerunning it per sub-figure would triple the cost.
+# ----------------------------------------------------------------------
+
+_GRID_CACHE: Dict[Tuple, Dict[str, RunResult]] = {}
+
+
+def _grid(workload_name: str, factory: Callable, n_requests: int,
+          seed: int) -> Dict[str, RunResult]:
+    key = (workload_name, n_requests, seed)
+    if key not in _GRID_CACHE:
+        _GRID_CACHE[key] = run_grid(factory, SYSTEM_NAMES,
+                                    warmup_fraction=DEFAULT_WARMUP)
+    return _GRID_CACHE[key]
+
+
+def clear_cache() -> None:
+    """Drop memoised grids (tests use this to force fresh runs)."""
+    _GRID_CACHE.clear()
+
+
+def _sysbench(n_requests: int, seed: int) -> Dict[str, RunResult]:
+    return _grid("sysbench",
+                 lambda: SysBenchWorkload(n_requests=n_requests, seed=seed),
+                 n_requests, seed)
+
+
+def _hadoop(n_requests: int, seed: int) -> Dict[str, RunResult]:
+    return _grid("hadoop",
+                 lambda: HadoopWorkload(n_requests=n_requests, seed=seed),
+                 n_requests, seed)
+
+
+def _tpcc(n_requests: int, seed: int) -> Dict[str, RunResult]:
+    return _grid("tpcc",
+                 lambda: TPCCWorkload(n_requests=n_requests, seed=seed),
+                 n_requests, seed)
+
+
+def _loadsim(n_requests: int, seed: int) -> Dict[str, RunResult]:
+    return _grid("loadsim",
+                 lambda: LoadSimWorkload(n_requests=n_requests, seed=seed),
+                 n_requests, seed)
+
+
+def _specsfs(n_requests: int, seed: int) -> Dict[str, RunResult]:
+    return _grid("specsfs",
+                 lambda: SpecSFSWorkload(n_requests=n_requests, seed=seed),
+                 n_requests, seed)
+
+
+def _rubis(n_requests: int, seed: int) -> Dict[str, RunResult]:
+    return _grid("rubis",
+                 lambda: RUBiSWorkload(n_requests=n_requests, seed=seed),
+                 n_requests, seed)
+
+
+def _metric(runs: Dict[str, RunResult],
+            getter: Callable[[RunResult], float]) -> Dict[str, float]:
+    return {name: getter(run) for name, run in runs.items()}
+
+
+# ----------------------------------------------------------------------
+# SysBench: Figures 6(a), 6(b), 7
+# ----------------------------------------------------------------------
+
+def figure6a(n_requests: int = DEFAULT_REQUESTS,
+             seed: int = DEFAULT_SEED) -> FigureResult:
+    runs = _sysbench(n_requests, seed)
+    return FigureResult(
+        "Figure 6(a)", "SysBench transaction rate", "tx/s", "higher",
+        _metric(runs, lambda r: r.transactions_per_s),
+        paperdata.FIG6A_SYSBENCH_TPS, runs)
+
+
+def figure6b(n_requests: int = DEFAULT_REQUESTS,
+             seed: int = DEFAULT_SEED) -> FigureResult:
+    runs = _sysbench(n_requests, seed)
+    return FigureResult(
+        "Figure 6(b)", "SysBench CPU utilisation", "fraction", "lower",
+        _metric(runs, lambda r: r.cpu_utilization),
+        paperdata.FIG6B_SYSBENCH_CPU, runs)
+
+
+def figure7(n_requests: int = DEFAULT_REQUESTS,
+            seed: int = DEFAULT_SEED) -> Tuple[FigureResult, FigureResult]:
+    runs = _sysbench(n_requests, seed)
+    read = FigureResult(
+        "Figure 7 (read)", "SysBench read response time", "µs", "lower",
+        _metric(runs, lambda r: r.read_mean_us),
+        paperdata.FIG7_SYSBENCH_READ_US, runs)
+    write = FigureResult(
+        "Figure 7 (write)", "SysBench write response time", "µs", "lower",
+        _metric(runs, lambda r: r.write_mean_us),
+        paperdata.FIG7_SYSBENCH_WRITE_US, runs)
+    return read, write
+
+
+# ----------------------------------------------------------------------
+# Hadoop: Figures 8(a), 8(b), 9
+# ----------------------------------------------------------------------
+
+def figure8a(n_requests: int = DEFAULT_REQUESTS,
+             seed: int = DEFAULT_SEED) -> FigureResult:
+    runs = _hadoop(n_requests, seed)
+    return FigureResult(
+        "Figure 8(a)", "Hadoop execution time", "s", "lower",
+        _metric(runs, lambda r: r.wall_time_s),
+        paperdata.FIG8A_HADOOP_TIME_S, runs)
+
+
+def figure8b(n_requests: int = DEFAULT_REQUESTS,
+             seed: int = DEFAULT_SEED) -> FigureResult:
+    runs = _hadoop(n_requests, seed)
+    return FigureResult(
+        "Figure 8(b)", "Hadoop CPU utilisation", "fraction", "lower",
+        _metric(runs, lambda r: r.cpu_utilization),
+        paperdata.FIG8B_HADOOP_CPU, runs)
+
+
+def figure9(n_requests: int = DEFAULT_REQUESTS,
+            seed: int = DEFAULT_SEED) -> Tuple[FigureResult, FigureResult]:
+    runs = _hadoop(n_requests, seed)
+    read = FigureResult(
+        "Figure 9 (read)", "Hadoop read response time", "µs", "lower",
+        _metric(runs, lambda r: r.read_mean_us),
+        paperdata.FIG9_HADOOP_READ_US, runs)
+    write = FigureResult(
+        "Figure 9 (write)", "Hadoop write response time", "µs", "lower",
+        _metric(runs, lambda r: r.write_mean_us),
+        paperdata.FIG9_HADOOP_WRITE_US, runs)
+    return read, write
+
+
+# ----------------------------------------------------------------------
+# TPC-C: Figures 10(a), 10(b), 11
+# ----------------------------------------------------------------------
+
+def figure10a(n_requests: int = DEFAULT_REQUESTS,
+              seed: int = DEFAULT_SEED) -> FigureResult:
+    runs = _tpcc(n_requests, seed)
+    return FigureResult(
+        "Figure 10(a)", "TPC-C transaction rate", "tx/s", "higher",
+        _metric(runs, lambda r: r.transactions_per_s),
+        paperdata.FIG10A_TPCC_TPS, runs)
+
+
+def figure10b(n_requests: int = DEFAULT_REQUESTS,
+              seed: int = DEFAULT_SEED) -> FigureResult:
+    runs = _tpcc(n_requests, seed)
+    return FigureResult(
+        "Figure 10(b)", "TPC-C CPU utilisation", "fraction", "lower",
+        _metric(runs, lambda r: r.cpu_utilization),
+        paperdata.FIG10B_TPCC_CPU, runs)
+
+
+def figure11(n_requests: int = DEFAULT_REQUESTS,
+             seed: int = DEFAULT_SEED) -> FigureResult:
+    runs = _tpcc(n_requests, seed)
+    return FigureResult(
+        "Figure 11", "TPC-C application response time", "ms", "lower",
+        _metric(runs, lambda r: r.tx_response_ms),
+        paperdata.FIG11_TPCC_RSP_MS, runs)
+
+
+# ----------------------------------------------------------------------
+# LoadSim, SPEC-sfs, RUBiS: Figures 12, 13, 14
+# ----------------------------------------------------------------------
+
+def figure12(n_requests: int = DEFAULT_REQUESTS,
+             seed: int = DEFAULT_SEED) -> FigureResult:
+    runs = _loadsim(n_requests, seed)
+    return FigureResult(
+        "Figure 12", "LoadSim score (response-time based)", "score",
+        "lower",
+        _metric(runs, lambda r: r.loadsim_score),
+        paperdata.FIG12_LOADSIM_SCORE, runs)
+
+
+def figure13(n_requests: int = DEFAULT_REQUESTS,
+             seed: int = DEFAULT_SEED) -> FigureResult:
+    runs = _specsfs(n_requests, seed)
+    return FigureResult(
+        "Figure 13", "SPEC-sfs response time", "ms", "lower",
+        _metric(runs, lambda r: r.io_response_ms),
+        paperdata.FIG13_SPECSFS_RSP_MS, runs)
+
+
+def figure14(n_requests: int = DEFAULT_REQUESTS,
+             seed: int = DEFAULT_SEED) -> FigureResult:
+    runs = _rubis(n_requests, seed)
+    return FigureResult(
+        "Figure 14", "RUBiS request rate", "req/s", "higher",
+        _metric(runs, lambda r: r.requests_per_s),
+        paperdata.FIG14_RUBIS_RPS, runs)
+
+
+# ----------------------------------------------------------------------
+# Multi-VM: Figures 15, 16
+# ----------------------------------------------------------------------
+
+def _multivm_grid(workload_cls, n_vms: int, per_vm_requests: int,
+                  seed: int) -> Dict[str, RunResult]:
+    name = f"{workload_cls.name}-{n_vms}vms"
+    return _grid(name,
+                 lambda: MultiVMWorkload(
+                     workload_cls, n_vms=n_vms, scale=0.25,
+                     n_requests_per_vm=per_vm_requests, seed=seed),
+                 per_vm_requests * n_vms, seed)
+
+
+def figure15(per_vm_requests: int = 2500, n_vms: int = 5,
+             seed: int = DEFAULT_SEED) -> FigureResult:
+    runs = _multivm_grid(TPCCWorkload, n_vms, per_vm_requests, seed)
+    measured = normalize(_metric(runs, lambda r: r.transactions_per_s))
+    return FigureResult(
+        "Figure 15", f"{n_vms} TPC-C VMs, normalised transaction rate",
+        "x fusion-io", "higher", measured,
+        paperdata.FIG15_TPCC_5VMS_NORM, runs)
+
+
+def figure16(per_vm_requests: int = 2500, n_vms: int = 5,
+             seed: int = DEFAULT_SEED) -> FigureResult:
+    runs = _multivm_grid(RUBiSWorkload, n_vms, per_vm_requests, seed)
+    measured = normalize(_metric(runs, lambda r: r.requests_per_s))
+    return FigureResult(
+        "Figure 16", f"{n_vms} RUBiS VMs, normalised request rate",
+        "x fusion-io", "higher", measured,
+        paperdata.FIG16_RUBIS_5VMS_NORM, runs)
+
+
+# ----------------------------------------------------------------------
+# Tables 5 and 6
+# ----------------------------------------------------------------------
+
+def table5(n_requests: int = DEFAULT_REQUESTS,
+           seed: int = DEFAULT_SEED) -> Dict[str, FigureResult]:
+    """Energy (Wh) for Hadoop and TPC-C, per architecture."""
+    out: Dict[str, FigureResult] = {}
+    for bench, runs_fn in (("hadoop", _hadoop), ("tpcc", _tpcc)):
+        runs = runs_fn(n_requests, seed)
+        out[bench] = FigureResult(
+            "Table 5", f"Energy for {bench}", "Wh", "lower",
+            _metric(runs, lambda r: r.energy.total_wh),
+            paperdata.TABLE5_ENERGY_WH[bench], runs)
+    return out
+
+
+def table6(n_requests: int = DEFAULT_REQUESTS,
+           seed: int = DEFAULT_SEED) -> Dict[str, FigureResult]:
+    """Runtime SSD write operations for the four write-heavy benchmarks."""
+    benches = (("sysbench", _sysbench), ("hadoop", _hadoop),
+               ("tpcc", _tpcc), ("specsfs", _specsfs))
+    out: Dict[str, FigureResult] = {}
+    for bench, runs_fn in benches:
+        runs = runs_fn(n_requests, seed)
+        measured = {name: float(run.ssd_write_ops)
+                    for name, run in runs.items() if name != "raid0"}
+        out[bench] = FigureResult(
+            "Table 6", f"SSD write requests, {bench}", "writes", "lower",
+            measured, paperdata.TABLE6_SSD_WRITES[bench], runs)
+    return out
+
+
+#: Every single-result figure, for "run them all" loops.
+ALL_FIGURES: Dict[str, Callable[[], FigureResult]] = {
+    "figure6a": figure6a,
+    "figure6b": figure6b,
+    "figure8a": figure8a,
+    "figure8b": figure8b,
+    "figure10a": figure10a,
+    "figure10b": figure10b,
+    "figure11": figure11,
+    "figure12": figure12,
+    "figure13": figure13,
+    "figure14": figure14,
+    "figure15": figure15,
+    "figure16": figure16,
+}

@@ -1,0 +1,78 @@
+"""The numbers the paper reports, figure by figure.
+
+Stored verbatim from Section 5 so every bench prints measured-vs-paper
+side by side.  System order everywhere: fusion-io, raid0, dedup, lru,
+icash (the paper's bar order).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+SYSTEMS: Tuple[str, ...] = ("fusion-io", "raid0", "dedup", "lru", "icash")
+
+
+def _by_system(values) -> Dict[str, float]:
+    return dict(zip(SYSTEMS, values))
+
+
+# Figure 6(a): SysBench transactions per second.
+FIG6A_SYSBENCH_TPS = _by_system((180, 85, 161, 175, 190))
+# Figure 6(b): SysBench CPU utilisation.
+FIG6B_SYSBENCH_CPU = _by_system((0.52, 0.53, 0.53, 0.56, 0.55))
+# Figure 7: SysBench block-level response times (µs).
+FIG7_SYSBENCH_READ_US = _by_system((35, 192, 71, 36, 18))
+FIG7_SYSBENCH_WRITE_US = _by_system((75, 1156, 106, 122, 7))
+
+# Figure 8(a): Hadoop execution time (s).
+FIG8A_HADOOP_TIME_S = _by_system((24, 32, 26, 25, 18))
+# Figure 8(b): Hadoop CPU utilisation.
+FIG8B_HADOOP_CPU = _by_system((0.83, 0.73, 0.82, 0.84, 0.86))
+# Figure 9: Hadoop block-level response times (µs).
+FIG9_HADOOP_READ_US = _by_system((1311, 3959, 1712, 1699, 1368))
+FIG9_HADOOP_WRITE_US = _by_system((7301, 3244, 7520, 7405, 586))
+
+# Figure 10(a): TPC-C transactions per second.
+FIG10A_TPCC_TPS = _by_system((51, 40, 49, 50, 58))
+# Figure 10(b): TPC-C CPU utilisation.
+FIG10B_TPCC_CPU = _by_system((0.51, 0.41, 0.52, 0.61, 0.62))
+# Figure 11: TPC-C application-level response time (ms).
+FIG11_TPCC_RSP_MS = _by_system((6.6, 14, 12, 7.1, 2.6))
+
+# Figure 12: LoadSim score (lower is better).
+FIG12_LOADSIM_SCORE = _by_system((1803, 5340, 3259, 3002, 2263))
+
+# Figure 13: SPEC-sfs response time (ms).
+FIG13_SPECSFS_RSP_MS = _by_system((1.4, 1.8, 2.1, 2.1, 1.5))
+
+# Figure 14: RUBiS requests per second.
+FIG14_RUBIS_RPS = _by_system((84, 48, 59, 73, 76))
+
+# Figure 15: five TPC-C VMs, transactions/s normalised to fusion-io.
+FIG15_TPCC_5VMS_NORM = _by_system((1.0, 0.4, 0.5, 0.4, 2.8))
+# Figure 16: five RUBiS VMs, requests/s normalised to fusion-io.
+FIG16_RUBIS_5VMS_NORM = _by_system((1.0, 0.2, 0.3, 0.3, 1.2))
+
+# Table 5: energy in watt-hours (no LRU/Dedup column for TPC-C missing —
+# the paper lists all five; transcribed in full).
+TABLE5_ENERGY_WH = {
+    "hadoop": _by_system((8, 24, 10, 10, 7)),
+    "tpcc": _by_system((11, 28, 11, 12, 11)),
+}
+
+# Table 6: number of write requests on SSD (no RAID0 column — RAID0 has
+# no SSD).
+TABLE6_SSD_WRITES = {
+    "sysbench": {"fusion-io": 893_700, "dedup": 1_419_023,
+                 "lru": 1_494_220, "icash": 232_452},
+    "hadoop": {"fusion-io": 2_540_124, "dedup": 3_082_196,
+               "lru": 3_469_785, "icash": 1_521_399},
+    "tpcc": {"fusion-io": 1_173_741, "dedup": 1_963_988,
+             "lru": 2_051_511, "icash": 359_919},
+    "specsfs": {"fusion-io": 5_752_436, "dedup": 5_559_698,
+                "lru": 5_514_935, "icash": 5_096_890},
+}
+
+# Section 5.1 prose: block-population breakdown observed for SysBench.
+SYSBENCH_BLOCK_MIX = {"reference": 0.01, "associate": 0.85,
+                      "independent": 0.14}

@@ -1,0 +1,65 @@
+"""Terminal rendering of the paper's bar charts.
+
+Every evaluation figure in the paper is a horizontal bar chart; these
+helpers reproduce that presentation in plain text so a bench run reads
+like the paper's Section 5 — measured bars with the paper's bars
+alongside for eyeballing shape.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+#: Width of the bar area, in characters.
+BAR_WIDTH = 42
+_FULL = "█"
+_PAPER = "░"
+
+
+def ascii_bars(values: Dict[str, float], order: Sequence[str],
+               unit: str = "", width: int = BAR_WIDTH,
+               reference: Optional[Dict[str, float]] = None) -> str:
+    """Horizontal bars for ``values``, optionally with reference bars.
+
+    Measured bars use a solid glyph; the reference (paper) series, when
+    given, renders beneath each measured bar in a light glyph, scaled to
+    its own maximum so the two series' *shapes* are comparable even when
+    the absolute scales differ wildly.
+    """
+    rows = [name for name in order if name in values]
+    if not rows:
+        return "(no data)"
+    max_measured = max(values[name] for name in rows) or 1.0
+    max_reference = None
+    if reference:
+        present = [reference[name] for name in rows if name in reference]
+        max_reference = max(present) if present else None
+    label_width = max(len(name) for name in rows)
+    lines = []
+    for name in rows:
+        value = values[name]
+        bar = _FULL * max(1, round(value / max_measured * width)) \
+            if value > 0 else ""
+        lines.append(f"{name:<{label_width}} |{bar:<{width}}| "
+                     f"{value:,.2f} {unit}".rstrip())
+        if reference and name in reference and max_reference:
+            ref = reference[name]
+            ref_bar = _PAPER * max(1, round(ref / max_reference * width)) \
+                if ref > 0 else ""
+            lines.append(f"{'paper':>{label_width}} |{ref_bar:<{width}}| "
+                         f"{ref:,.2f} {unit}".rstrip())
+    return "\n".join(lines)
+
+
+def sparkline(series: Sequence[float]) -> str:
+    """A one-line trend of a numeric series (sweep outputs)."""
+    glyphs = "▁▂▃▄▅▆▇█"
+    if not series:
+        return ""
+    low = min(series)
+    high = max(series)
+    span = (high - low) or 1.0
+    return "".join(
+        glyphs[min(len(glyphs) - 1,
+                   int((value - low) / span * (len(glyphs) - 1)))]
+        for value in series)

@@ -1,0 +1,102 @@
+"""Text rendering of measured-vs-paper comparison tables."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+
+def comparison_table(title: str, systems: Sequence[str],
+                     measured: Dict[str, float],
+                     paper: Optional[Dict[str, float]] = None,
+                     unit: str = "", better: str = "higher",
+                     precision: int = 1) -> str:
+    """One figure's table: a row per system, measured next to paper.
+
+    ``better`` ("higher" or "lower") is printed as a reading aid, echoing
+    the paper's axis annotations like "the lower the better".
+    """
+    lines: List[str] = [title, "=" * len(title)]
+    header = f"{'system':<12} {'measured':>14}"
+    if paper:
+        header += f" {'paper':>14}"
+    lines.append(header + f"   ({better} is better)")
+    for system in systems:
+        value = measured.get(system)
+        cell = f"{value:>{14}.{precision}f}" if value is not None \
+            else f"{'-':>14}"
+        row = f"{system:<12} {cell}"
+        if paper:
+            ref = paper.get(system)
+            ref_cell = f"{ref:>{14}.{precision}f}" if ref is not None \
+                else f"{'-':>14}"
+            row += f" {ref_cell}"
+        if unit:
+            row += f"  {unit}"
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def normalize(values: Dict[str, float],
+              baseline: str = "fusion-io") -> Dict[str, float]:
+    """Normalise a metric to one system (Figures 15–16 are plotted this
+    way)."""
+    base = values.get(baseline)
+    if not base:
+        raise ValueError(f"baseline {baseline!r} missing or zero")
+    return {name: value / base for name, value in values.items()}
+
+
+def speedup_summary(measured: Dict[str, float], over: str,
+                    better: str = "higher") -> Dict[str, float]:
+    """I-CASH's speedup over one baseline, in the paper's convention.
+
+    For "higher is better" metrics (throughput), speedup is
+    icash / baseline; for "lower is better" (response time, score), it is
+    baseline / icash.
+    """
+    icash = measured["icash"]
+    base = measured[over]
+    if better == "higher":
+        return {"icash_over_" + over: icash / base if base else float("inf")}
+    return {"icash_over_" + over: base / icash if icash else float("inf")}
+
+
+def shape_check(measured: Dict[str, float], paper: Dict[str, float],
+                better: str = "higher") -> Dict[str, bool]:
+    """Did the reproduction preserve the paper's qualitative findings?
+
+    Checks the relations the paper's narrative rests on rather than
+    absolute values: for each pair of systems, whether the measured
+    ordering matches the paper's ordering.  Returns
+    ``{"A>B": preserved}`` pairs for every ordered pair the paper ranks.
+    """
+    outcome: Dict[str, bool] = {}
+    names = [name for name in paper if name in measured]
+    for i, a in enumerate(names):
+        for b in names[i + 1:]:
+            if paper[a] == paper[b]:
+                continue
+            paper_says_a = paper[a] > paper[b]
+            measured_says_a = measured[a] > measured[b]
+            key = f"{a}>{b}" if paper_says_a else f"{b}>{a}"
+            outcome[key] = paper_says_a == measured_says_a
+    return outcome
+
+
+def shape_score(measured: Dict[str, float],
+                paper: Dict[str, float]) -> float:
+    """Fraction of the paper's pairwise orderings the reproduction kept."""
+    checks = shape_check(measured, paper)
+    if not checks:
+        return 1.0
+    return sum(checks.values()) / len(checks)
+
+
+def render_shape_check(measured: Dict[str, float],
+                       paper: Dict[str, float]) -> str:
+    checks = shape_check(measured, paper)
+    kept = sum(checks.values())
+    lines = [f"pairwise orderings preserved: {kept}/{len(checks)}"]
+    for relation, ok in sorted(checks.items()):
+        lines.append(f"  {'ok ' if ok else 'MISS'} {relation}")
+    return "\n".join(lines)

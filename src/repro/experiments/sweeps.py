@@ -1,0 +1,94 @@
+"""Generic parameter-sweep utility for I-CASH experiments.
+
+The ablation benches each sweep one knob by hand; this module offers the
+same capability as a reusable API, so downstream users can explore the
+configuration space (`sweep_config`) or workload space (`sweep_workload`)
+without writing runner plumbing.
+
+Example::
+
+    from repro.experiments.sweeps import sweep_config
+    from repro.workloads import SysBenchWorkload
+
+    points = sweep_config(
+        lambda: SysBenchWorkload(n_requests=6000),
+        "scan_interval", [250, 500, 1000, 2000])
+    for point in points:
+        print(point.value, point.result.transactions_per_s)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Iterable, List, Sequence
+
+from repro.core import ICASHController
+from repro.experiments.runner import RunResult, run_benchmark
+from repro.experiments.systems import make_icash_config, make_system
+from repro.workloads.base import Workload
+
+
+@dataclass
+class SweepPoint:
+    """One (parameter value, run outcome) pair of a sweep."""
+
+    parameter: str
+    value: object
+    result: RunResult
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"SweepPoint({self.parameter}={self.value!r}, "
+                f"tx/s={self.result.transactions_per_s:.1f})")
+
+
+def sweep_config(workload_factory: Callable[[], Workload],
+                 parameter: str, values: Sequence[object],
+                 warmup_fraction: float = 0.4,
+                 preload: bool = True) -> List[SweepPoint]:
+    """Run I-CASH once per value of one :class:`ICASHConfig` field.
+
+    Each point gets a fresh workload (same seed → same trace) and a fresh
+    controller built from the workload's standard configuration with
+    ``parameter`` overridden.
+    """
+    points: List[SweepPoint] = []
+    for value in values:
+        workload = workload_factory()
+        config = replace(make_icash_config(workload),
+                         **{parameter: value})
+        system = ICASHController(workload.build_dataset(), config)
+        result = run_benchmark(workload, system,
+                               warmup_fraction=warmup_fraction,
+                               preload=preload)
+        points.append(SweepPoint(parameter, value, result))
+    return points
+
+
+def sweep_workload(workload_factories: Iterable[Callable[[], Workload]],
+                   system_name: str = "icash",
+                   warmup_fraction: float = 0.4) -> List[RunResult]:
+    """Run one architecture across several workloads."""
+    results: List[RunResult] = []
+    for factory in workload_factories:
+        workload = factory()
+        system = make_system(system_name, workload)
+        results.append(run_benchmark(workload, system,
+                                     warmup_fraction=warmup_fraction))
+    return results
+
+
+def render_sweep(points: Sequence[SweepPoint],
+                 metrics: Sequence[str] = ("transactions_per_s",
+                                           "read_mean_us",
+                                           "write_mean_us")) -> str:
+    """Aligned text table of a sweep's outcome."""
+    if not points:
+        return "(empty sweep)"
+    header = f"{points[0].parameter:>16} " + " ".join(
+        f"{metric:>18}" for metric in metrics)
+    lines = [header, "-" * len(header)]
+    for point in points:
+        cells = " ".join(
+            f"{getattr(point.result, metric):>18.2f}" for metric in metrics)
+        lines.append(f"{str(point.value):>16} {cells}")
+    return "\n".join(lines)

@@ -1,0 +1,25 @@
+"""Host CPU utilisation model (Figures 6(b), 8(b), 10(b)).
+
+The prototype runs the I-CASH logic on the host CPU, so its compression,
+decompression and scan cycles compete with the application.  The paper's
+finding is that the overhead is small — utilisation across the five
+architectures differs by less than 4 % — because the codec costs are
+microseconds against millisecond-scale transactions.
+
+Utilisation here is simply busy CPU seconds over wall-clock seconds:
+the application's compute plus whatever the storage architecture burned
+(``StorageSystem.cpu_time``: delta codec and scans for I-CASH, content
+hashing for dedup, nothing for the passive architectures).
+"""
+
+from __future__ import annotations
+
+
+def cpu_utilization(app_cpu_s: float, storage_cpu_s: float,
+                    wall_time_s: float) -> float:
+    """Fraction of wall-clock time the host CPU was busy, clamped to 1."""
+    if wall_time_s <= 0:
+        raise ValueError(f"wall time must be positive, got {wall_time_s}")
+    if app_cpu_s < 0 or storage_cpu_s < 0:
+        raise ValueError("CPU times cannot be negative")
+    return min(1.0, (app_cpu_s + storage_cpu_s) / wall_time_s)

@@ -1,0 +1,31 @@
+"""Trace-driven simulation substrate.
+
+This package provides the pieces every storage model in the repository is
+built on: typed I/O requests that carry content (:mod:`repro.sim.request`),
+a virtual clock (:mod:`repro.sim.clock`), and latency/counter statistics
+collection (:mod:`repro.sim.stats`).
+
+The simulation is *closed loop*: a workload issues one request, the storage
+system returns its service latency, and the clock advances by that latency
+(plus any application compute time the workload models).  Response time and
+service time therefore coincide, which matches how the paper reports
+block-level response times.
+
+The optional host page-cache wrapper lives in :mod:`repro.sim.pagecache`
+(imported directly to avoid a circular dependency on the storage-system
+base class).
+"""
+
+from repro.sim.backing import BackingStore
+from repro.sim.clock import VirtualClock
+from repro.sim.request import IORequest, OpType
+from repro.sim.stats import LatencyStats, StatsCollector
+
+__all__ = [
+    "BackingStore",
+    "IORequest",
+    "LatencyStats",
+    "OpType",
+    "StatsCollector",
+    "VirtualClock",
+]

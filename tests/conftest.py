@@ -1,0 +1,36 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sim.request import BLOCK_SIZE
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0xC0FFEE)
+
+
+@pytest.fixture
+def random_block(rng) -> np.ndarray:
+    return rng.integers(0, 256, size=BLOCK_SIZE, dtype=np.uint8)
+
+
+def make_block(fill: int = 0) -> np.ndarray:
+    """A 4 KB block with a constant fill byte."""
+    return np.full(BLOCK_SIZE, fill, dtype=np.uint8)
+
+
+def make_dataset(n_blocks: int, seed: int = 7) -> np.ndarray:
+    """A random (n_blocks, 4096) uint8 dataset."""
+    gen = np.random.default_rng(seed)
+    return gen.integers(0, 256, size=(n_blocks, BLOCK_SIZE), dtype=np.uint8)
+
+
+def mutate_block(block: np.ndarray, offsets, value: int = 0xAB) -> np.ndarray:
+    out = block.copy()
+    for offset in offsets:
+        out[offset] = value
+    return out

@@ -1,0 +1,23 @@
+"""Tests for the 'repro run' diagnosis command."""
+
+from repro.cli import main as cli_main
+
+
+class TestRunCommand:
+    def test_icash_run_prints_diagnosis(self, capsys):
+        code = cli_main(["run", "sysbench", "--requests", "800",
+                         "--verify"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "tx/s" in out
+        assert "block population" in out
+        assert "read path breakdown" in out
+        assert "verified byte-exact" in out
+
+    def test_baseline_run_skips_icash_internals(self, capsys):
+        code = cli_main(["run", "sysbench", "--system", "fusion-io",
+                         "--requests", "600"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "tx/s" in out
+        assert "block population" not in out

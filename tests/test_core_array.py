@@ -1,0 +1,128 @@
+"""Tests for the multi-element I-CASH array."""
+
+import numpy as np
+import pytest
+
+from repro.core import ICASHConfig
+from repro.core.array import ICASHArray
+from repro.sim.request import BLOCK_SIZE
+
+from test_core_controller import family_dataset, small_config
+
+
+def make_array(n_elements: int = 2, n_blocks: int = 256,
+               chunk_blocks: int = 16) -> ICASHArray:
+    return ICASHArray(family_dataset(n_blocks), n_elements=n_elements,
+                      chunk_blocks=chunk_blocks, config=small_config())
+
+
+class TestAddressing:
+    def test_locate_round_robins_chunks(self):
+        array = make_array(n_elements=2, chunk_blocks=16)
+        assert array._locate(0) == (0, 0)
+        assert array._locate(16) == (1, 0)
+        assert array._locate(32) == (0, 16)
+        assert array._locate(17) == (1, 1)
+
+    def test_split_covers_span_once(self):
+        array = make_array(n_elements=3, chunk_blocks=8)
+        per_element = array._split(5, 50)
+        covered = sorted(
+            offset + i
+            for extents in per_element.values()
+            for local, take, offset in extents
+            for i in range(take))
+        assert covered == list(range(50))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_array(n_elements=0)
+        with pytest.raises(ValueError):
+            ICASHArray(family_dataset(64), chunk_blocks=0)
+
+
+class TestContentCorrectness:
+    def test_roundtrip_over_all_elements(self, rng):
+        dataset = family_dataset(256)
+        array = ICASHArray(dataset.copy(), n_elements=4, chunk_blocks=8,
+                           config=small_config())
+        array.ingest()
+        shadow = dataset.copy()
+        for _ in range(600):
+            lba = int(rng.integers(0, 256))
+            if rng.random() < 0.4:
+                content = shadow[lba].copy()
+                content[0:64] = rng.integers(0, 256, 64)
+                shadow[lba] = content
+                array.write(lba, [content])
+            else:
+                _, (out,) = array.read(lba)
+                assert np.array_equal(out, shadow[lba])
+
+    def test_spanning_requests_cross_elements(self):
+        dataset = family_dataset(128)
+        array = ICASHArray(dataset.copy(), n_elements=2, chunk_blocks=4,
+                           config=small_config())
+        # A 12-block read at offset 2 crosses several chunks/elements.
+        _, contents = array.read(2, 12)
+        for offset, content in enumerate(contents):
+            assert np.array_equal(content, dataset[2 + offset])
+
+    def test_spanning_write(self, rng):
+        dataset = family_dataset(128)
+        array = ICASHArray(dataset.copy(), n_elements=2, chunk_blocks=4,
+                           config=small_config())
+        payload = [rng.integers(0, 256, BLOCK_SIZE, dtype=np.uint8)
+                   for _ in range(10)]
+        array.write(3, payload)
+        _, contents = array.read(3, 10)
+        for written, out in zip(payload, contents):
+            assert np.array_equal(out, written)
+
+
+class TestParallelism:
+    def test_spanning_request_latency_is_slowest_element(self):
+        array = make_array(n_elements=4, chunk_blocks=4)
+        latency, _ = array.read(0, 16)  # 4 blocks per element
+        element_latency, _ = make_array(
+            n_elements=1, chunk_blocks=4).read(0, 16)
+        # Four elements in parallel beat one element doing everything.
+        assert latency < element_latency
+
+    def test_each_element_is_independent(self):
+        array = make_array(n_elements=2, chunk_blocks=16)
+        array.ingest()
+        counts = [len(e.cache.references()) for e in array.elements]
+        assert all(c >= 1 for c in counts)
+
+
+class TestAggregation:
+    def test_devices_span_elements(self):
+        array = make_array(n_elements=3)
+        names = [d.name for d in array.devices()]
+        assert names.count("ssd") == 3
+        assert names.count("hdd") == 3
+
+    def test_cpu_and_background_aggregate(self):
+        array = make_array(n_elements=2)
+        array.ingest()
+        assert array.cpu_time == pytest.approx(
+            sum(e.cpu_time for e in array.elements))
+        assert array.background_time == pytest.approx(
+            sum(e.background_time for e in array.elements))
+
+    def test_block_kind_counts_aggregate(self):
+        array = make_array(n_elements=2)
+        array.ingest()
+        counts = array.block_kind_counts()
+        assert sum(counts.values()) >= 200
+
+    def test_flush_hits_all_elements(self, rng):
+        array = make_array(n_elements=2)
+        array.ingest()
+        for lba in (0, 20):  # one block on each element
+            content = rng.integers(0, 256, BLOCK_SIZE, dtype=np.uint8)
+            array.write(lba, [content])
+        array.flush()
+        for element in array.elements:
+            assert not element._dirty_delta_lbas

@@ -1,0 +1,278 @@
+"""Integration-grade unit tests for the I-CASH controller.
+
+The central invariant throughout: whatever was written must read back
+byte-identical, no matter which internal representation (RAM data block,
+reference + delta, SSD spill, HDD region, delta log) currently holds it.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import BlockKind, ICASHConfig, ICASHController
+from repro.core.signatures import block_signatures
+from repro.sim.request import BLOCK_SIZE
+
+from conftest import make_dataset
+
+
+def small_config(**overrides) -> ICASHConfig:
+    defaults = dict(
+        ssd_capacity_blocks=64,
+        data_ram_bytes=32 * BLOCK_SIZE,
+        delta_ram_bytes=64 * 1024,
+        max_virtual_blocks=512,
+        log_blocks=512,
+        scan_interval=100,
+        scan_window=256,
+        flush_interval=128,
+    )
+    defaults.update(overrides)
+    return ICASHConfig(**defaults)
+
+
+@pytest.fixture
+def controller() -> ICASHController:
+    return ICASHController(make_dataset(256), small_config())
+
+
+def family_dataset(n_blocks: int = 256, n_families: int = 8,
+                   seed: int = 3) -> np.ndarray:
+    gen = np.random.default_rng(seed)
+    bases = gen.integers(0, 256, (n_families, BLOCK_SIZE), dtype=np.uint8)
+    dataset = bases[gen.integers(0, n_families, n_blocks)].copy()
+    for lba in range(n_blocks):
+        idx = gen.integers(0, BLOCK_SIZE, 16)
+        dataset[lba, idx] = gen.integers(0, 256, 16)
+    return dataset
+
+
+class TestReadPath:
+    def test_cold_read_returns_initial_content(self, controller):
+        dataset = controller.backing
+        latency, (content,) = controller.read(10)
+        assert np.array_equal(content, dataset.get(10))
+        assert latency > 0
+        assert controller.stats.count("hdd_data_reads") == 1
+
+    def test_second_read_hits_ram(self, controller):
+        controller.read(10)
+        before = controller.hdd.read_ops
+        controller.read(10)
+        assert controller.hdd.read_ops == before
+        assert controller.stats.count("ram_data_hits") == 1
+
+    def test_multiblock_read(self, controller):
+        latency, contents = controller.read(4, 3)
+        assert len(contents) == 3
+        for offset, content in enumerate(contents):
+            assert np.array_equal(content, controller.backing.get(4 + offset))
+
+    def test_bounds_checked(self, controller):
+        with pytest.raises(ValueError):
+            controller.read(256)
+
+
+class TestWritePath:
+    def test_write_then_read_roundtrip(self, controller, rng):
+        content = rng.integers(0, 256, BLOCK_SIZE, dtype=np.uint8)
+        controller.write(7, [content])
+        _, (out,) = controller.read(7)
+        assert np.array_equal(out, content)
+
+    def test_write_latency_is_microseconds(self, controller, rng):
+        """The headline: I-CASH writes are RAM-speed, not device-speed."""
+        content = rng.integers(0, 256, BLOCK_SIZE, dtype=np.uint8)
+        latency = controller.write(7, [content])
+        assert latency < 100e-6
+
+    def test_overwrites_visible_in_order(self, controller, rng):
+        for fill in (1, 2, 3):
+            block = np.full(BLOCK_SIZE, fill, dtype=np.uint8)
+            controller.write(3, [block])
+        _, (out,) = controller.read(3)
+        assert (out == 3).all()
+
+
+class TestDeltaMachinery:
+    def test_ingest_builds_reference_structure(self):
+        controller = ICASHController(family_dataset(), small_config())
+        controller.ingest()
+        counts = controller.block_kind_counts()
+        assert counts["reference"] >= 8
+        assert counts["associate"] > counts["reference"]
+        assert controller.stats.count("ingest_deltas") > 0
+
+    def test_ingest_preserves_all_content(self):
+        dataset = family_dataset()
+        controller = ICASHController(dataset, small_config())
+        controller.ingest()
+        for lba in range(0, 256, 7):
+            _, (content,) = controller.read(lba)
+            assert np.array_equal(content, dataset[lba]), f"lba {lba}"
+
+    def test_associate_write_produces_delta_not_ssd_write(self):
+        dataset = family_dataset()
+        controller = ICASHController(dataset, small_config())
+        controller.ingest()
+        ssd_writes = controller.ssd.write_ops
+        # Find an associate and write a small change to it.
+        lba = next(iter(controller.delta_map_snapshot()))
+        content = dataset[lba].copy()
+        content[0:40] = 0
+        controller.write(lba, [content])
+        assert controller.stats.count("delta_writes") == 1
+        assert controller.ssd.write_ops == ssd_writes
+        _, (out,) = controller.read(lba)
+        assert np.array_equal(out, content)
+
+    def test_large_delta_spills_to_ssd(self, rng):
+        dataset = family_dataset()
+        controller = ICASHController(dataset, small_config())
+        controller.ingest()
+        lba = next(iter(controller.delta_map_snapshot()))
+        # Rewrite the block entirely: delta exceeds the 2048 B threshold.
+        content = rng.integers(0, 256, BLOCK_SIZE, dtype=np.uint8)
+        controller.write(lba, [content])
+        assert controller.stats.count("delta_spills") == 1
+        assert lba in controller.spilled_lbas
+        _, (out,) = controller.read(lba)
+        assert np.array_equal(out, content)
+
+    def test_spilled_block_write_through_hits_ssd(self, rng):
+        dataset = family_dataset()
+        controller = ICASHController(dataset, small_config())
+        controller.ingest()
+        lba = next(iter(controller.delta_map_snapshot()))
+        controller.write(lba, [rng.integers(0, 256, BLOCK_SIZE,
+                                            dtype=np.uint8)])
+        ssd_writes = controller.ssd.write_ops
+        newer = rng.integers(0, 256, BLOCK_SIZE, dtype=np.uint8)
+        controller.write(lba, [newer])
+        assert controller.ssd.write_ops == ssd_writes + 1
+        assert controller.stats.count("spilled_write_through") == 1
+        _, (out,) = controller.read(lba)
+        assert np.array_equal(out, newer)
+
+    def test_reference_write_keeps_frozen_copy(self, rng):
+        dataset = family_dataset()
+        controller = ICASHController(dataset, small_config())
+        controller.ingest()
+        ref_lba = next(iter(controller.reference_lbas))
+        frozen = controller.ssd_content_snapshot()[ref_lba].copy()
+        content = dataset[ref_lba].copy()
+        content[100:140] = 0
+        controller.write(ref_lba, [content])
+        assert controller.stats.count("reference_delta_writes") == 1
+        # The SSD copy is untouched; reads combine it with the delta.
+        assert np.array_equal(controller.ssd_content_snapshot()[ref_lba],
+                              frozen)
+        _, (out,) = controller.read(ref_lba)
+        assert np.array_equal(out, content)
+
+    def test_reference_write_reverting_drops_delta(self):
+        dataset = family_dataset()
+        controller = ICASHController(dataset, small_config())
+        controller.ingest()
+        ref_lba = next(iter(controller.reference_lbas))
+        original = dataset[ref_lba].copy()
+        changed = original.copy()
+        changed[0:20] = 0
+        controller.write(ref_lba, [changed])
+        controller.write(ref_lba, [original])  # revert
+        vb = controller.cache.get(ref_lba, touch=False)
+        assert not vb.has_delta
+
+
+class TestFlushAndEviction:
+    def test_flush_logs_dirty_deltas(self):
+        dataset = family_dataset()
+        controller = ICASHController(dataset, small_config())
+        controller.ingest()
+        lba = next(iter(controller.delta_map_snapshot()))
+        content = dataset[lba].copy()
+        content[0:30] = 0
+        controller.write(lba, [content])
+        logged_before = controller.log.blocks_written
+        controller.flush()
+        assert controller.log.blocks_written > logged_before
+        entry = controller.delta_map_snapshot()[lba]
+        assert entry[1] is not None  # log slot assigned
+
+    def test_content_survives_delta_eviction(self, rng):
+        """Delta replacement drops the virtual block but the delta stays
+        reachable through the log — reads must still reconstruct."""
+        config = small_config(delta_ram_bytes=8 * 1024)  # tiny pool
+        dataset = family_dataset()
+        controller = ICASHController(dataset, config)
+        controller.ingest()
+        # Write small deltas to many blocks to thrash the pool.
+        written = {}
+        lbas = list(controller.delta_map_snapshot())[:60]
+        for lba in lbas:
+            content = dataset[lba].copy()
+            content[8:48] = rng.integers(0, 256, 40)
+            controller.write(lba, [content])
+            written[lba] = content
+        for lba, content in written.items():
+            _, (out,) = controller.read(lba)
+            assert np.array_equal(out, content), f"lba {lba}"
+
+    def test_log_fetch_hydrates_siblings(self):
+        dataset = family_dataset()
+        # A pool too small to keep every ingested delta in RAM guarantees
+        # some blocks are reachable only through the log.
+        controller = ICASHController(
+            dataset, small_config(delta_ram_bytes=8 * 1024))
+        controller.ingest()
+        # Evict every cached virtual block state by forcing a fresh
+        # controller view: read a delta-mapped block not cached in RAM.
+        mapped = [lba for lba in controller.delta_map_snapshot()
+                  if lba not in controller.cache]
+        if not mapped:
+            pytest.skip("ingest cached every delta in RAM")
+        controller.read(mapped[0])
+        assert controller.stats.count("log_delta_fetches") >= 1
+
+
+class TestScanIntegration:
+    def test_scan_promotes_and_associates_online(self, rng):
+        """Without ingest, the periodic scan alone must discover the
+        reference/associate structure."""
+        dataset = family_dataset()
+        controller = ICASHController(dataset, small_config())
+        for i in range(600):
+            controller.read(int(rng.integers(0, 256)))
+        counts = controller.block_kind_counts()
+        assert controller.stats.count("scans") >= 5
+        assert counts["reference"] >= 1
+        assert counts["associate"] >= 1
+
+    def test_block_kind_counts_cover_population(self):
+        dataset = family_dataset()
+        controller = ICASHController(dataset, small_config())
+        controller.ingest()
+        counts = controller.block_kind_counts()
+        assert sum(counts.values()) >= 256 * 0.9
+
+
+class TestRandomizedShadowComparison:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_mixed_workload_matches_shadow(self, seed):
+        dataset = family_dataset(seed=seed)
+        shadow = dataset.copy()
+        controller = ICASHController(dataset, small_config())
+        controller.ingest()
+        gen = np.random.default_rng(seed)
+        for i in range(1500):
+            lba = int(gen.integers(0, 256))
+            if gen.random() < 0.4:
+                content = shadow[lba].copy()
+                span = int(gen.integers(1, 200))
+                start = int(gen.integers(0, BLOCK_SIZE - span))
+                content[start:start + span] = gen.integers(0, 256, span)
+                shadow[lba] = content
+                controller.write(lba, [content])
+            else:
+                _, (out,) = controller.read(lba)
+                assert np.array_equal(out, shadow[lba]), \
+                    f"mismatch at lba {lba}, op {i}"

@@ -1,0 +1,118 @@
+"""Unit tests for the Heatmap, including the paper's Table 1 worked
+example reproduced value for value."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.heatmap import Heatmap
+
+# The paper's toy alphabet: contents A,B,C,D have signatures a,b,c,d.
+A, B, C, D = 0, 1, 2, 3
+
+
+class TestTable1Example:
+    """Table 1: 2 sub-blocks per block, Vs = 4, four requests."""
+
+    def test_buildup_step_by_step(self):
+        heatmap = Heatmap(rows=2, values=4)
+        assert heatmap.row(0) == (0, 0, 0, 0)
+        assert heatmap.row(1) == (0, 0, 0, 0)
+
+        heatmap.record((A, B))       # LBA1: content (A, B)
+        assert heatmap.row(0) == (1, 0, 0, 0)
+        assert heatmap.row(1) == (0, 1, 0, 0)
+
+        heatmap.record((C, D))       # LBA2: content (C, D)
+        assert heatmap.row(0) == (1, 0, 1, 0)
+        assert heatmap.row(1) == (0, 1, 0, 1)
+
+        heatmap.record((A, D))       # LBA3: content (A, D)
+        assert heatmap.row(0) == (2, 0, 1, 0)
+        assert heatmap.row(1) == (0, 1, 0, 2)
+
+        heatmap.record((B, D))       # LBA4: content (B, D)
+        assert heatmap.row(0) == (2, 1, 1, 0)
+        assert heatmap.row(1) == (0, 1, 0, 3)
+
+    def test_popularities_match_table2(self):
+        """Table 2's popularity column: 3, 4, 5, 4."""
+        heatmap = Heatmap(rows=2, values=4)
+        for sigs in ((A, B), (C, D), (A, D), (B, D)):
+            heatmap.record(sigs)
+        assert heatmap.popularity((A, B)) == 3
+        assert heatmap.popularity((C, D)) == 4
+        assert heatmap.popularity((A, D)) == 5
+        assert heatmap.popularity((B, D)) == 4
+
+
+class TestHeatmapMechanics:
+    def test_default_dimensions_match_prototype(self):
+        heatmap = Heatmap()
+        assert heatmap.rows == 8
+        assert heatmap.values == 256
+
+    def test_record_validates_signature_count(self):
+        heatmap = Heatmap(rows=2, values=4)
+        with pytest.raises(ValueError):
+            heatmap.record((1,))
+
+    def test_record_validates_signature_range(self):
+        heatmap = Heatmap(rows=2, values=4)
+        with pytest.raises(ValueError):
+            heatmap.record((0, 4))
+
+    def test_total_accesses(self):
+        heatmap = Heatmap(rows=2, values=4)
+        heatmap.record((0, 0))
+        heatmap.record((1, 1))
+        assert heatmap.total_accesses == 2
+
+    def test_reset(self):
+        heatmap = Heatmap(rows=2, values=4)
+        heatmap.record((0, 0))
+        heatmap.reset()
+        assert heatmap.total_accesses == 0
+        assert heatmap.popularity((0, 0)) == 0
+
+    def test_decay_halves_counters(self):
+        heatmap = Heatmap(rows=1, values=2)
+        for _ in range(4):
+            heatmap.record((0,))
+        heatmap.decay(0.5)
+        assert heatmap.popularity((0,)) == 2
+
+    def test_decay_factor_validated(self):
+        with pytest.raises(ValueError):
+            Heatmap().decay(1.5)
+
+    def test_temporal_locality_captured(self):
+        """Re-accessing one block raises its own popularity."""
+        heatmap = Heatmap(rows=2, values=4)
+        heatmap.record((A, B))
+        before = heatmap.popularity((A, B))
+        heatmap.record((A, B))
+        assert heatmap.popularity((A, B)) == before + 2
+
+    def test_content_locality_captured(self):
+        """Accessing a *similar* block (shared sub-signatures at the same
+        positions) raises the popularity of both — the Heatmap's point."""
+        heatmap = Heatmap(rows=2, values=4)
+        heatmap.record((A, D))
+        heatmap.record((B, D))  # shares sub-signature D at row 1
+        assert heatmap.popularity((A, D)) == 3
+
+    def test_invalid_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            Heatmap(rows=0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 3), st.integers(0, 3)),
+                    max_size=50))
+    def test_row_sums_equal_access_count(self, accesses):
+        """Invariant: every access adds exactly one count per row."""
+        heatmap = Heatmap(rows=2, values=4)
+        for sigs in accesses:
+            heatmap.record(sigs)
+        for row in range(2):
+            assert sum(heatmap.row(row)) == len(accesses)

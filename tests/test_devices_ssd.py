@@ -1,0 +1,162 @@
+"""Unit tests for the NAND SSD model: FTL, GC, wear, footprint penalty."""
+
+import pytest
+
+from repro.devices.ssd import FlashSSD, SSDSpec
+
+
+def small_ssd(capacity_blocks: int = 256, **spec_kwargs) -> FlashSSD:
+    spec = SSDSpec(pages_per_block=8, **spec_kwargs)
+    return FlashSSD(capacity_blocks, spec)
+
+
+class TestBasicTiming:
+    def test_read_latency_small_footprint(self):
+        ssd = small_ssd()
+        latency = ssd.read(0, 1)
+        assert latency == pytest.approx(
+            ssd.spec.read_base_s, rel=0.5)
+
+    def test_footprint_penalty_grows(self):
+        spec = SSDSpec(pages_per_block=8, footprint_knee_blocks=100)
+        ssd = FlashSSD(256, spec)
+        first = ssd.read(0, 1)
+        for lba in range(100):
+            ssd.read(lba, 1)
+        late = ssd.read(0, 1)
+        assert late > first
+        assert late == pytest.approx(
+            spec.read_base_s + spec.read_footprint_penalty_s)
+
+    def test_multiblock_read_pipelines(self):
+        ssd = small_ssd()
+        one = FlashSSD(256, SSDSpec(pages_per_block=8)).read(0, 1)
+        eight = ssd.read(0, 8)
+        assert eight < 8 * one
+
+    def test_write_is_slower_than_read(self):
+        ssd = small_ssd()
+        write = ssd.write(0, 1)
+        read = ssd.read(0, 1)
+        assert write > read
+
+    def test_trim_does_not_advance_busy_time(self):
+        ssd = small_ssd()
+        ssd.write(0, 1)
+        busy = ssd.busy_time
+        ssd.trim(0, 1)
+        assert ssd.busy_time == busy
+        assert ssd.stats.count("trim_ops") == 1
+
+
+class TestFTL:
+    def test_overwrite_invalidates_old_page(self):
+        ssd = small_ssd()
+        for _ in range(5):
+            ssd.write(7, 1)
+        # One valid mapping only; the rest are stale pages awaiting GC.
+        assert 7 in ssd._map
+        valid_total = sum(b.valid_count for b in ssd._blocks)
+        assert valid_total == 1
+
+    def test_mapping_unique_per_lba(self):
+        ssd = small_ssd()
+        for lba in range(64):
+            ssd.write(lba, 1)
+        for lba in range(0, 64, 2):
+            ssd.write(lba, 1)
+        seen = set()
+        for lba, loc in ssd._map.items():
+            assert loc not in seen
+            seen.add(loc)
+
+    def test_trim_frees_mapping(self):
+        ssd = small_ssd()
+        ssd.write(3, 1)
+        ssd.trim(3, 1)
+        assert 3 not in ssd._map
+
+
+class TestGarbageCollection:
+    def test_gc_triggers_under_overwrite_pressure(self):
+        ssd = small_ssd(capacity_blocks=128, overprovision=0.15)
+        # Fill the device, then overwrite it repeatedly.
+        for round_ in range(6):
+            for lba in range(128):
+                ssd.write(lba, 1)
+        assert ssd.stats.count("gc_erases") > 0
+        assert ssd.total_erases > 0
+
+    def test_gc_never_loses_mappings(self):
+        ssd = small_ssd(capacity_blocks=128, overprovision=0.15)
+        for round_ in range(8):
+            for lba in range(128):
+                ssd.write(lba, 1)
+        assert len(ssd._map) == 128
+        valid_total = sum(b.valid_count for b in ssd._blocks)
+        assert valid_total == 128
+
+    def test_write_amplification_at_least_one(self):
+        ssd = small_ssd(capacity_blocks=128, overprovision=0.15)
+        assert ssd.write_amplification == 1.0
+        for round_ in range(8):
+            for lba in range(128):
+                ssd.write(lba, 1)
+        assert ssd.write_amplification >= 1.0
+
+    def test_gc_latency_charged_to_triggering_write(self):
+        ssd = small_ssd(capacity_blocks=128, overprovision=0.15)
+        latencies = []
+        for round_ in range(8):
+            for lba in range(128):
+                latencies.append(ssd.write(lba, 1))
+        # Some writes stalled behind at least one erase.
+        assert max(latencies) >= ssd.spec.erase_s
+
+    def test_sequential_overwrites_have_low_amplification(self):
+        # Purely sequential overwrite leaves victims fully invalid, so GC
+        # relocates (almost) nothing.
+        ssd = small_ssd(capacity_blocks=128, overprovision=0.15)
+        for round_ in range(10):
+            for lba in range(128):
+                ssd.write(lba, 1)
+        assert ssd.write_amplification < 1.3
+
+
+class TestWearLeveling:
+    def test_erase_counts_reported_per_block(self):
+        ssd = small_ssd(capacity_blocks=64, overprovision=0.2)
+        for round_ in range(10):
+            for lba in range(64):
+                ssd.write(lba, 1)
+        counts = ssd.erase_counts()
+        assert len(counts) == len(ssd._blocks)
+        assert sum(counts) == ssd.total_erases
+
+    def test_wear_spread_stays_bounded(self):
+        # Static wear leveling should keep max-min spread near wear_delta.
+        ssd = small_ssd(capacity_blocks=64, overprovision=0.2, wear_delta=4)
+        for round_ in range(60):
+            for lba in range(64):
+                ssd.write(lba, 1)
+        counts = [c for c in ssd.erase_counts()]
+        assert max(counts) - min(counts) <= 4 * ssd.spec.wear_delta
+
+    def test_footprint_counts_distinct_blocks(self):
+        ssd = small_ssd()
+        for _ in range(10):
+            ssd.read(5, 1)
+        assert ssd.footprint_blocks == 1
+        ssd.read(6, 1)
+        assert ssd.footprint_blocks == 2
+        ssd.trim(6, 1)
+        assert ssd.footprint_blocks == 1
+
+
+class TestBounds:
+    def test_span_checked(self):
+        ssd = small_ssd(capacity_blocks=16)
+        with pytest.raises(ValueError):
+            ssd.read(16, 1)
+        with pytest.raises(ValueError):
+            ssd.write(15, 2)

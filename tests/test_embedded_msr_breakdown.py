@@ -1,0 +1,182 @@
+"""Tests for the embedded (hardware) controller variant, the MSR trace
+adapter and the latency-path breakdown."""
+
+import numpy as np
+import pytest
+
+from repro.core.embedded import EmbeddedICASHController, EmbeddedSpec
+from repro.experiments.breakdown import (read_breakdown,
+                                         semiconductor_fraction,
+                                         write_breakdown)
+from repro.experiments.runner import run_benchmark
+from repro.experiments.systems import make_icash_config, make_system
+from repro.sim.request import BLOCK_SIZE
+from repro.workloads.msr import MSRTraceWorkload, parse_msr_row
+
+from test_core_controller import family_dataset, small_config
+
+
+class TestEmbeddedController:
+    def make(self, **spec_kwargs) -> EmbeddedICASHController:
+        return EmbeddedICASHController(
+            family_dataset(), small_config(),
+            embedded=EmbeddedSpec(**spec_kwargs))
+
+    def test_content_roundtrip(self, rng):
+        controller = self.make()
+        controller.ingest()
+        shadow = {}
+        for _ in range(300):
+            lba = int(rng.integers(0, 256))
+            if rng.random() < 0.5:
+                content = rng.integers(0, 256, BLOCK_SIZE, dtype=np.uint8)
+                controller.write(lba, [content])
+                shadow[lba] = content
+            elif lba in shadow:
+                _, (out,) = controller.read(lba)
+                assert np.array_equal(out, shadow[lba])
+
+    def test_host_cpu_is_zero(self):
+        controller = self.make()
+        controller.ingest()
+        controller.read(5)
+        assert controller.cpu_time == 0.0
+        assert controller.embedded_cpu_time > 0.0
+
+    def test_codec_runs_slower_on_embedded_core(self):
+        controller = self.make(codec_slowdown=3.0)
+        assert controller.config.decompress_s == pytest.approx(3.0e-5)
+
+    def test_dma_charged_per_request(self):
+        controller = self.make(dma_per_request_s=50e-6)
+        latency, _ = controller.read(0)
+        assert latency >= 50e-6
+
+    def test_small_board_dram_caps_budgets(self):
+        controller = EmbeddedICASHController(
+            family_dataset(),
+            small_config(data_ram_bytes=64 << 20,
+                         delta_ram_bytes=64 << 20),
+            embedded=EmbeddedSpec(dram_bytes=8 << 20))
+        total = controller.config.data_ram_bytes \
+            + controller.config.delta_ram_bytes
+        assert total <= (8 << 20) + (1 << 20)
+
+    def test_runner_sees_no_storage_cpu(self):
+        from repro.workloads import SysBenchWorkload
+        workload = SysBenchWorkload(scale=0.1, n_requests=600)
+        controller = EmbeddedICASHController(
+            workload.build_dataset(), make_icash_config(workload))
+        result = run_benchmark(workload, controller,
+                               warmup_fraction=0.3)
+        assert result.storage_cpu_s == 0.0
+
+
+class TestMSRParsing:
+    def test_row_parses(self):
+        ts, op, start, nblocks, size = parse_msr_row(
+            ["128166372003061629", "prxy", "0", "Read", "8192", "8192",
+             "531"])
+        assert op == "read"
+        assert start == 2
+        assert nblocks == 2
+
+    def test_partial_block_rounds_up(self):
+        _, _, start, nblocks, _ = parse_msr_row(
+            ["0", "h", "0", "Write", "100", "100", "1"])
+        assert start == 0
+        assert nblocks == 1
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError, match="op type"):
+            parse_msr_row(["0", "h", "0", "Trim", "0", "4096", "1"])
+
+    def test_short_row_rejected(self):
+        with pytest.raises(ValueError, match="columns"):
+            parse_msr_row(["0", "h", "0"])
+
+    def test_bad_size_rejected(self):
+        with pytest.raises(ValueError):
+            parse_msr_row(["0", "h", "0", "Read", "0", "0", "1"])
+
+
+@pytest.fixture
+def msr_csv(tmp_path):
+    rows = []
+    for i in range(120):
+        offset = ((i * 37) % 64) * BLOCK_SIZE
+        op = "Write" if i % 3 == 0 else "Read"
+        rows.append(f"{i},host,0,{op},{offset},{BLOCK_SIZE},100")
+    path = tmp_path / "msr.csv"
+    path.write_text("\n".join(rows) + "\n")
+    return path
+
+
+class TestMSRTraceWorkload:
+    def test_footprint_compacted(self, msr_csv):
+        workload = MSRTraceWorkload(msr_csv)
+        assert workload.n_requests == 120
+        assert workload.n_blocks == 64
+        assert "64 distinct blocks" in workload.footprint_summary()
+
+    def test_stream_is_restartable(self, msr_csv):
+        workload = MSRTraceWorkload(msr_csv)
+        a = [(r.op, r.lba, r.nblocks) for r in workload.requests()]
+        b = [(r.op, r.lba, r.nblocks) for r in workload.requests()]
+        assert a == b
+
+    def test_drives_icash_with_verification(self, msr_csv):
+        workload = MSRTraceWorkload(msr_csv)
+        system = make_system("icash", workload)
+        result = run_benchmark(workload, system, verify_reads=True,
+                               warmup_fraction=0.2)
+        assert result.verified_reads > 0
+
+    def test_max_requests_bound(self, msr_csv):
+        workload = MSRTraceWorkload(msr_csv, max_requests=10)
+        assert workload.n_requests == 10
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            MSRTraceWorkload(tmp_path / "nope.csv")
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("# only a comment\n")
+        with pytest.raises(ValueError, match="usable"):
+            MSRTraceWorkload(path)
+
+
+class TestBreakdown:
+    def run_element(self):
+        from repro.workloads import SysBenchWorkload
+        workload = SysBenchWorkload(scale=0.25, n_requests=2500)
+        system = make_system("icash", workload)
+        run_benchmark(workload, system, warmup_fraction=0.2)
+        return system
+
+    def test_read_breakdown_accounts_all_sources(self):
+        system = self.run_element()
+        breakdown = read_breakdown(system)
+        assert breakdown.total > 0
+        assert breakdown.fraction("SSD reference + RAM delta") > 0.3
+        assert "read path breakdown" in breakdown.render()
+
+    def test_write_breakdown_shows_ram_dominance(self):
+        system = self.run_element()
+        breakdown = write_breakdown(system)
+        ram = (breakdown.fraction("delta buffered in RAM")
+               + breakdown.fraction("reference self-delta in RAM")
+               + breakdown.fraction("data block in RAM"))
+        assert ram > 0.7
+
+    def test_semiconductor_fraction_high(self):
+        """The paper's core mechanism: most reads never touch the HDD."""
+        system = self.run_element()
+        assert semiconductor_fraction(system) > 0.9
+
+    def test_empty_controller(self):
+        from repro.core import ICASHController
+        controller = ICASHController(family_dataset(), small_config())
+        assert semiconductor_fraction(controller) == 1.0
+        assert "no operations" in read_breakdown(controller).render()

@@ -1,0 +1,163 @@
+"""Tests for the experiment harness: systems factory, runner, reporting."""
+
+import pytest
+
+from repro.baselines import PureSSD
+from repro.core import ICASHController
+from repro.experiments import paperdata
+from repro.experiments.report import (comparison_table, normalize,
+                                      render_shape_check, shape_check,
+                                      shape_score, speedup_summary)
+from repro.experiments.runner import run_benchmark, run_grid
+from repro.experiments.systems import SYSTEM_NAMES, make_system
+from repro.workloads import SysBenchWorkload, TPCCWorkload
+
+
+def tiny_workload(**kwargs):
+    defaults = dict(scale=0.05, n_requests=300)
+    defaults.update(kwargs)
+    return SysBenchWorkload(**defaults)
+
+
+class TestSystemsFactory:
+    @pytest.mark.parametrize("name", SYSTEM_NAMES)
+    def test_every_architecture_builds(self, name):
+        system = make_system(name, tiny_workload())
+        assert system.capacity_blocks == tiny_workload().n_blocks
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown system"):
+            make_system("zfs", tiny_workload())
+
+    def test_icash_gets_paper_style_budgets(self):
+        workload = tiny_workload()
+        system = make_system("icash", workload)
+        assert isinstance(system, ICASHController)
+        assert system.config.ssd_capacity_blocks \
+            == workload.ssd_budget_blocks
+
+    def test_fusion_io_holds_whole_dataset(self):
+        workload = tiny_workload()
+        system = make_system("fusion-io", workload)
+        assert isinstance(system, PureSSD)
+        assert system.ssd.capacity_blocks == workload.n_blocks
+
+
+class TestRunner:
+    def test_run_produces_complete_result(self):
+        workload = tiny_workload()
+        system = make_system("fusion-io", workload)
+        result = run_benchmark(workload, system, warmup_fraction=0.3)
+        assert result.n_requests == 300
+        assert result.n_measured == 210
+        assert result.wall_time_s > 0
+        assert result.transactions_per_s > 0
+        assert result.read_mean_us > 0
+        assert result.energy.total_wh >= 0
+        assert 0 <= result.cpu_utilization <= 1
+
+    def test_verified_run_checks_content(self):
+        workload = tiny_workload()
+        system = make_system("icash", workload)
+        result = run_benchmark(workload, system, verify_reads=True)
+        assert result.verified_reads > 0
+
+    def test_warmup_excluded_from_measurement(self):
+        workload = tiny_workload()
+        system = make_system("fusion-io", workload)
+        result = run_benchmark(workload, system, warmup_fraction=0.5)
+        assert result.n_measured == 150
+        assert result.full_wall_time_s >= result.wall_time_s
+
+    def test_preload_writes_not_counted_as_runtime(self):
+        workload = tiny_workload()
+        system = make_system("fusion-io", workload)
+        result = run_benchmark(workload, system, preload=True)
+        # The ingest wrote every block, but the reported count only
+        # covers the benchmark itself.
+        assert result.ssd_write_ops < workload.n_blocks
+
+    def test_invalid_warmup_rejected(self):
+        with pytest.raises(ValueError):
+            run_benchmark(tiny_workload(),
+                          make_system("fusion-io", tiny_workload()),
+                          warmup_fraction=1.0)
+
+    def test_run_grid_covers_all_systems(self):
+        results = run_grid(lambda: tiny_workload(), SYSTEM_NAMES)
+        assert set(results) == set(SYSTEM_NAMES)
+
+    def test_tx_response_and_scores_positive(self):
+        workload = tiny_workload()
+        system = make_system("raid0", workload)
+        result = run_benchmark(workload, system)
+        assert result.tx_response_ms > 0
+        assert result.loadsim_score == pytest.approx(
+            result.tx_response_ms * 1e3)
+
+
+class TestReporting:
+    MEASURED = {"fusion-io": 10.0, "raid0": 2.0, "icash": 12.0}
+    PAPER = {"fusion-io": 180.0, "raid0": 85.0, "icash": 190.0}
+
+    def test_comparison_table_renders_rows(self):
+        text = comparison_table("T", ["fusion-io", "raid0", "icash"],
+                                self.MEASURED, self.PAPER, unit="tx/s")
+        assert "fusion-io" in text
+        assert "tx/s" in text
+        assert "paper" in text
+
+    def test_normalize(self):
+        normalized = normalize(self.MEASURED)
+        assert normalized["fusion-io"] == 1.0
+        assert normalized["icash"] == pytest.approx(1.2)
+
+    def test_normalize_missing_baseline_rejected(self):
+        with pytest.raises(ValueError):
+            normalize({"icash": 1.0})
+
+    def test_shape_check_all_preserved(self):
+        checks = shape_check(self.MEASURED, self.PAPER)
+        assert checks and all(checks.values())
+        assert shape_score(self.MEASURED, self.PAPER) == 1.0
+
+    def test_shape_check_detects_flips(self):
+        flipped = dict(self.MEASURED)
+        flipped["raid0"] = 100.0  # now beats fusion-io, unlike the paper
+        checks = shape_check(flipped, self.PAPER)
+        assert not all(checks.values())
+        assert shape_score(flipped, self.PAPER) < 1.0
+
+    def test_render_shape_check(self):
+        text = render_shape_check(self.MEASURED, self.PAPER)
+        assert "pairwise orderings preserved" in text
+
+    def test_speedup_conventions(self):
+        up = speedup_summary(self.MEASURED, "fusion-io", better="higher")
+        assert up["icash_over_fusion-io"] == pytest.approx(1.2)
+        down = speedup_summary({"icash": 2.0, "raid0": 8.0}, "raid0",
+                               better="lower")
+        assert down["icash_over_raid0"] == pytest.approx(4.0)
+
+
+class TestPaperData:
+    def test_all_figures_cover_five_systems(self):
+        for table in (paperdata.FIG6A_SYSBENCH_TPS,
+                      paperdata.FIG10A_TPCC_TPS,
+                      paperdata.FIG12_LOADSIM_SCORE,
+                      paperdata.FIG14_RUBIS_RPS):
+            assert set(table) == set(paperdata.SYSTEMS)
+
+    def test_headline_claims_encoded(self):
+        # I-CASH beats everything on SysBench (Figure 6a)...
+        fig6a = paperdata.FIG6A_SYSBENCH_TPS
+        assert fig6a["icash"] == max(fig6a.values())
+        # ...loses to pure SSD on LoadSim (Figure 12, lower=better)...
+        fig12 = paperdata.FIG12_LOADSIM_SCORE
+        assert fig12["fusion-io"] < fig12["icash"]
+        # ...and wins 2.8x on five TPC-C VMs (Figure 15).
+        assert paperdata.FIG15_TPCC_5VMS_NORM["icash"] == pytest.approx(2.8)
+
+    def test_table6_has_no_raid_column(self):
+        for bench in paperdata.TABLE6_SSD_WRITES.values():
+            assert "raid0" not in bench

@@ -1,0 +1,71 @@
+"""Unit tests for the logical content backing store."""
+
+import numpy as np
+import pytest
+
+from repro.sim.backing import BackingStore
+from repro.sim.request import BLOCK_SIZE
+
+from conftest import make_block, make_dataset
+
+
+class TestConstruction:
+    def test_owns_a_copy(self):
+        # Mutating the source array must not change the store's content.
+        dataset = make_dataset(4)
+        store = BackingStore(dataset)
+        original = store.get(1).copy()
+        dataset[1, :] = 0
+        assert np.array_equal(store.get(1), original)
+
+    def test_zeros_constructor(self):
+        store = BackingStore.zeros(8)
+        assert store.capacity_blocks == 8
+        assert not store.get(3).any()
+
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(ValueError, match="shape|expects"):
+            BackingStore(np.zeros((4, 100), dtype=np.uint8))
+
+    def test_rejects_wrong_dtype(self):
+        with pytest.raises(ValueError, match="uint8"):
+            BackingStore(np.zeros((4, BLOCK_SIZE), dtype=np.int32))
+
+
+class TestAccess:
+    def test_set_then_get_roundtrip(self):
+        store = BackingStore.zeros(4)
+        block = make_block(0x5A)
+        store.set(2, block)
+        assert np.array_equal(store.get(2), block)
+
+    def test_get_returns_copy(self):
+        store = BackingStore.zeros(4)
+        got = store.get(0)
+        got[:] = 1
+        assert not store.get(0).any()
+
+    def test_set_copies_in(self):
+        store = BackingStore.zeros(4)
+        block = make_block(7)
+        store.set(0, block)
+        block[:] = 0
+        assert store.get(0)[0] == 7
+
+    def test_view_is_readonly(self):
+        store = BackingStore.zeros(4)
+        view = store.view(1)
+        with pytest.raises((ValueError, RuntimeError)):
+            view[0] = 1
+
+    def test_out_of_range_lba(self):
+        store = BackingStore.zeros(4)
+        with pytest.raises(IndexError):
+            store.get(4)
+        with pytest.raises(IndexError):
+            store.set(-1, make_block())
+
+    def test_set_rejects_wrong_size(self):
+        store = BackingStore.zeros(4)
+        with pytest.raises(ValueError, match="bytes"):
+            store.set(0, np.zeros(10, dtype=np.uint8))

@@ -1,0 +1,129 @@
+"""Unit tests for the virtual clock and the statistics collectors."""
+
+import pytest
+
+from repro.sim.clock import VirtualClock
+from repro.sim.stats import LatencyStats, StatsCollector
+
+
+class TestVirtualClock:
+    def test_starts_at_zero(self):
+        assert VirtualClock().now == 0.0
+
+    def test_advance_accumulates(self):
+        clock = VirtualClock()
+        clock.advance(1.5)
+        clock.advance(0.5)
+        assert clock.now == pytest.approx(2.0)
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualClock().advance(-0.1)
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualClock(start=-1.0)
+
+    def test_reset(self):
+        clock = VirtualClock()
+        clock.advance(10)
+        clock.reset()
+        assert clock.now == 0.0
+        clock.reset(3.0)
+        assert clock.now == 3.0
+
+
+class TestLatencyStats:
+    def test_empty_stats_are_zero(self):
+        stats = LatencyStats()
+        assert stats.count == 0
+        assert stats.mean == 0.0
+        assert stats.percentile(99) == 0.0
+        assert stats.max == 0.0
+
+    def test_mean_and_total(self):
+        stats = LatencyStats()
+        for value in (1.0, 2.0, 3.0):
+            stats.record(value)
+        assert stats.mean == pytest.approx(2.0)
+        assert stats.total == pytest.approx(6.0)
+        assert stats.mean_us == pytest.approx(2.0e6)
+
+    def test_percentile_nearest_rank(self):
+        stats = LatencyStats()
+        for value in range(1, 101):
+            stats.record(float(value))
+        assert stats.percentile(50) == 50.0
+        assert stats.percentile(99) == 99.0
+        assert stats.percentile(100) == 100.0
+        assert stats.percentile(0) == 1.0
+
+    def test_percentile_range_checked(self):
+        with pytest.raises(ValueError):
+            LatencyStats().percentile(101)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyStats().record(-1e-9)
+
+    def test_merge_pools_samples(self):
+        a, b = LatencyStats(), LatencyStats()
+        a.record(1.0)
+        b.record(3.0)
+        a.merge(b)
+        assert a.count == 2
+        assert a.mean == pytest.approx(2.0)
+
+    def test_min_max(self):
+        stats = LatencyStats()
+        for value in (5.0, 1.0, 3.0):
+            stats.record(value)
+        assert stats.min == 1.0
+        assert stats.max == 5.0
+
+
+class TestStatsCollector:
+    def test_counters_start_at_zero(self):
+        assert StatsCollector().count("anything") == 0
+
+    def test_bump_and_read(self):
+        stats = StatsCollector()
+        stats.bump("reads")
+        stats.bump("reads", 4)
+        assert stats.count("reads") == 5
+        assert stats.counters() == {"reads": 5}
+
+    def test_latency_classes_are_independent(self):
+        stats = StatsCollector()
+        stats.record_latency("read", 1.0)
+        stats.record_latency("write", 3.0)
+        assert stats.latency("read").mean == 1.0
+        assert stats.latency("write").mean == 3.0
+        assert set(stats.latency_classes()) == {"read", "write"}
+
+    def test_merge(self):
+        a, b = StatsCollector(), StatsCollector()
+        a.bump("ops", 2)
+        b.bump("ops", 3)
+        b.record_latency("read", 1.0)
+        a.merge(b)
+        assert a.count("ops") == 5
+        assert a.latency("read").count == 1
+
+    def test_summary_flattens(self):
+        stats = StatsCollector()
+        stats.bump("ops")
+        stats.record_latency("read", 2e-6)
+        summary = stats.summary()
+        assert summary["ops"] == 1.0
+        assert summary["read_mean_us"] == pytest.approx(2.0)
+        assert summary["read_count"] == 1.0
+
+    def test_format_table_mentions_counters(self):
+        stats = StatsCollector()
+        stats.bump("hits", 7)
+        stats.record_latency("read", 1e-3)
+        text = stats.format_table("title")
+        assert "title" in text
+        assert "hits" in text
+        assert "read latency" in text

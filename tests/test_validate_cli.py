@@ -1,0 +1,108 @@
+"""Tests for the validation harness and the new CLI commands.
+
+The full ``validate()`` run is a benchmark-suite-sized job; these tests
+exercise its aggregation logic against stubbed figures, and the CLI
+paths against small real runs.
+"""
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.experiments import validate as validate_module
+from repro.experiments.figures import FigureResult
+from repro.experiments.validate import (Claim, ValidationSummary,
+                                        _headline_claims)
+
+
+def stub_figure(name: str, measured, paper) -> FigureResult:
+    return FigureResult(name, name, "x", "higher", measured, paper)
+
+
+def stub_results(icash_wins: bool = True):
+    """A full figure-result set with controllable outcomes."""
+    win = {"fusion-io": 10.0, "raid0": 4.0, "dedup": 6.0,
+           "lru": 7.0, "icash": 12.0 if icash_wins else 9.0}
+    lose_time = {"fusion-io": 5.0, "raid0": 14.0, "dedup": 12.0,
+                 "lru": 7.0, "icash": 2.6 if icash_wins else 9.0}
+    loadsim = {"fusion-io": 1800.0, "raid0": 5340.0, "dedup": 3259.0,
+               "lru": 3002.0, "icash": 2263.0}
+    rubis = {"fusion-io": 84.0, "raid0": 48.0, "dedup": 59.0,
+             "lru": 73.0, "icash": 80.0}
+    vms = {"fusion-io": 1.0, "raid0": 0.4, "dedup": 0.5,
+           "lru": 0.4, "icash": 2.8 if icash_wins else 0.5}
+    hadoop = {"fusion-io": 24.0, "raid0": 32.0, "dedup": 26.0,
+              "lru": 25.0, "icash": 18.0 if icash_wins else 40.0}
+    paper = dict(win)
+    return {
+        "figure6a": stub_figure("figure6a", win, paper),
+        "figure10a": stub_figure("figure10a", win, paper),
+        "figure11": stub_figure("figure11", lose_time, lose_time),
+        "figure12": stub_figure("figure12", loadsim, loadsim),
+        "figure14": stub_figure("figure14", rubis, rubis),
+        "figure15": stub_figure("figure15", vms, vms),
+        "figure8a": stub_figure("figure8a", hadoop, hadoop),
+    }
+
+
+class TestHeadlineClaims:
+    def test_winning_run_holds_all_claims(self):
+        claims = _headline_claims(stub_results(icash_wins=True))
+        assert all(claim.holds for claim in claims)
+
+    def test_losing_run_fails_claims(self):
+        claims = _headline_claims(stub_results(icash_wins=False))
+        assert not all(claim.holds for claim in claims)
+
+    def test_missing_figure_marks_claim_failed(self):
+        results = stub_results()
+        results["figure15"] = stub_figure("figure15", {}, {})
+        claims = _headline_claims(results)
+        vm_claims = [c for c in claims if "VMs" in c.description]
+        assert vm_claims and not any(c.holds for c in vm_claims)
+
+
+class TestValidationSummary:
+    def test_render_and_scores(self):
+        summary = ValidationSummary(
+            shape_scores={"figure6a": 1.0, "figure12": 0.8},
+            claims=[Claim("a", True), Claim("b", False)])
+        assert summary.mean_shape_score == pytest.approx(0.9)
+        assert summary.claims_held == 1
+        text = summary.render()
+        assert "figure6a" in text and "MISS b" in text
+
+    def test_validate_uses_all_figures(self, monkeypatch):
+        calls = []
+
+        def fake_figure(name):
+            def runner(**kwargs):
+                calls.append(name)
+                return stub_results()["figure6a"]
+            return runner
+
+        fake_registry = {name: fake_figure(name)
+                         for name in ("figure6a", "figure10a", "figure11",
+                                      "figure12", "figure14", "figure15",
+                                      "figure16", "figure8a")}
+        monkeypatch.setattr(validate_module.figures_module,
+                            "ALL_FIGURES", fake_registry)
+        summary = validate_module.validate()
+        assert sorted(calls) == sorted(fake_registry)
+        assert set(summary.shape_scores) == set(fake_registry)
+
+
+class TestNewCLICommands:
+    def test_analyze_command(self, capsys):
+        assert cli_main(["analyze", "tpcc", "--requests", "400"]) == 0
+        out = capsys.readouterr().out
+        assert "delta-compressible" in out
+        assert "5-20% band" in out
+
+    def test_validate_command_uses_stub(self, monkeypatch, capsys):
+        def fake_validate(n_requests=None):
+            return ValidationSummary(shape_scores={"figure6a": 1.0},
+                                     claims=[Claim("ok", True)])
+        monkeypatch.setattr("repro.experiments.validate.validate",
+                            fake_validate)
+        assert cli_main(["validate"]) == 0
+        assert "headline claims: 1/1" in capsys.readouterr().out
