@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Measure the wall-clock overhead of the tracing layer.
+
+Runs the same SysBench replay on the I-CASH element three ways:
+
+* ``null``  — the default ``NULL_TRACER`` (every hook is a guarded
+  no-op; this is what every benchmark and test pays all the time),
+* ``ring``  — a recording ``RingBufferTracer`` with the default 1 Mi
+  event capacity,
+* ``ring+chrome`` — recording plus a Chrome ``trace_event`` export.
+
+Prints median wall-clock over ``--repeats`` runs and the overhead of
+each mode relative to ``null``.  The numbers quoted in the tracer
+overhead section of ``docs/TUNING.md`` come from this script::
+
+    PYTHONPATH=src python scripts/bench_tracer_overhead.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import statistics
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.experiments.runner import run_benchmark  # noqa: E402
+from repro.experiments.systems import make_system  # noqa: E402
+from repro.sim.trace import (RingBufferTracer,  # noqa: E402
+                             export_chrome_trace)
+from repro.workloads import SysBenchWorkload  # noqa: E402
+
+
+def one_run(n_requests: int, mode: str) -> float:
+    workload = SysBenchWorkload(n_requests=n_requests)
+    system = make_system("icash", workload)
+    tracer = RingBufferTracer() if mode != "null" else None
+    started = time.perf_counter()
+    run_benchmark(workload, system, tracer=tracer)
+    if mode == "ring+chrome":
+        with tempfile.NamedTemporaryFile("w", suffix=".json",
+                                         delete=True) as handle:
+            export_chrome_trace(tracer.events, handle)
+    elapsed = time.perf_counter() - started
+    if tracer is not None and tracer.dropped:
+        print(f"  warning: {tracer.dropped} events dropped", file=sys.stderr)
+    return elapsed
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--requests", type=int, default=6000)
+    parser.add_argument("--repeats", type=int, default=5)
+    args = parser.parse_args()
+
+    modes = ("null", "ring", "ring+chrome")
+    medians = {}
+    for mode in modes:
+        times = [one_run(args.requests, mode)
+                 for _ in range(args.repeats)]
+        medians[mode] = statistics.median(times)
+        print(f"{mode:<12} median {medians[mode] * 1e3:8.1f} ms "
+              f"over {args.repeats} runs "
+              f"(min {min(times) * 1e3:.1f}, max {max(times) * 1e3:.1f})")
+    base = medians["null"]
+    for mode in modes[1:]:
+        print(f"{mode:<12} overhead vs null: "
+              f"{(medians[mode] / base - 1.0):+.1%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

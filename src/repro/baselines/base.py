@@ -17,10 +17,17 @@ import numpy as np
 
 from repro.sim.request import IORequest, OpType
 from repro.sim.stats import StatsCollector
+from repro.sim.trace import NULL_TRACER
 
 
 class StorageSystem(abc.ABC):
     """Abstract storage architecture over a logical 4 KB block space."""
+
+    #: Per-request trace sink (see :mod:`repro.sim.trace` and
+    #: ``docs/OBSERVABILITY.md``).  The null default costs one branch
+    #: per instrumentation site; :meth:`set_tracer` attaches a recording
+    #: tracer to the system and every device model under it.
+    tracer = NULL_TRACER
 
     def __init__(self, name: str, capacity_blocks: int) -> None:
         self.name = name
@@ -69,16 +76,50 @@ class StorageSystem(abc.ABC):
     def devices(self) -> Iterable:
         """The device models underlying this system (energy accounting)."""
 
+    # -- observability -----------------------------------------------------
+
+    def set_tracer(self, tracer) -> None:
+        """Attach a tracer to this system and every device beneath it.
+
+        Pass :data:`repro.sim.trace.NULL_TRACER` to detach.  Devices
+        shared with nothing else (the normal case) simply start emitting
+        spans into ``tracer``'s buffer.
+        """
+        self.tracer = tracer
+        for device in self.devices():
+            device.tracer = tracer
+
     # -- request dispatch ------------------------------------------------------
 
     def process(self, request: IORequest) -> float:
         """Service one request, recording per-class latency stats."""
         if request.op is OpType.READ:
-            latency, _ = self.read(request.lba, request.nblocks)
-            self.stats.record_latency("read", latency)
+            latency, _ = self.process_read(request)
         else:
-            latency = self.write(request.lba, request.payload)
-            self.stats.record_latency("write", latency)
+            latency = self.process_write(request)
+        return latency
+
+    def process_read(self, request: IORequest
+                     ) -> Tuple[float, List[np.ndarray]]:
+        """Service one read request with stats and trace bookkeeping."""
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.begin_request("read", request.lba, request.nblocks)
+        latency, contents = self.read(request.lba, request.nblocks)
+        self.stats.record_latency("read", latency)
+        if tracer.enabled:
+            tracer.end_request(latency)
+        return latency, contents
+
+    def process_write(self, request: IORequest) -> float:
+        """Service one write request with stats and trace bookkeeping."""
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.begin_request("write", request.lba, request.nblocks)
+        latency = self.write(request.lba, request.payload)
+        self.stats.record_latency("write", latency)
+        if tracer.enabled:
+            tracer.end_request(latency)
         return latency
 
     # -- reporting ---------------------------------------------------------------

@@ -75,6 +75,23 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--requests", type=int, default=6000)
     run.add_argument("--verify", action="store_true",
                      help="verify every read against the shadow copy")
+
+    trace = sub.add_parser(
+        "trace", help="run one workload under the tracer and write a "
+                      "per-request trace file (see docs/OBSERVABILITY.md)")
+    trace.add_argument("--workload", default="sysbench",
+                       choices=sorted(_WORKLOADS))
+    trace.add_argument("--system", default="icash",
+                       choices=["fusion-io", "raid0", "dedup", "lru",
+                                "icash"])
+    trace.add_argument("--requests", type=int, default=3000)
+    trace.add_argument("--out", default="trace.json",
+                       help="output path; .jsonl writes JSON Lines, "
+                            "anything else writes Chrome trace_event "
+                            "JSON for chrome://tracing / Perfetto")
+    trace.add_argument("--buffer", type=int, default=1 << 20,
+                       help="ring buffer capacity in events (oldest "
+                            "events drop beyond this)")
     return parser
 
 
@@ -201,6 +218,43 @@ def _cmd_run(workload_name: str, system_name: str, requests: int,
     return 0
 
 
+def _cmd_trace(workload_name: str, system_name: str, requests: int,
+               out: str, buffer_events: int) -> int:
+    from repro.experiments.runner import run_benchmark
+    from repro.experiments.systems import make_system
+    from repro.sim.trace import (RingBufferTracer, export_chrome_trace,
+                                 export_jsonl, phase_breakdown)
+
+    workload = _WORKLOADS[workload_name](n_requests=requests)
+    system = make_system(system_name, workload)
+    tracer = RingBufferTracer(capacity_events=buffer_events)
+    run_benchmark(workload, system, tracer=tracer)
+    if out.endswith(".jsonl"):
+        written = export_jsonl(tracer.events, out)
+        kind = "JSONL"
+    else:
+        written = export_chrome_trace(tracer.events, out)
+        kind = "Chrome trace_event; open in chrome://tracing or " \
+               "https://ui.perfetto.dev"
+    print(f"{workload_name} on {system_name}: wrote {written} events "
+          f"to {out} ({kind})")
+    if tracer.dropped:
+        print(f"warning: ring buffer overflowed; the {tracer.dropped} "
+              f"oldest events were dropped — raise --buffer for a "
+              f"complete trace", file=sys.stderr)
+    for op in ("read", "write"):
+        breakdown = phase_breakdown(tracer.events, op=op)
+        print()
+        print(breakdown.render())
+    # Cross-check the trace against the independent latency statistics:
+    # the read breakdown's mean must reproduce StatsCollector's mean.
+    stats_mean = system.stats.latency("read").mean_us
+    trace_mean = phase_breakdown(tracer.events, op="read").mean_us
+    print(f"\nconsistency: trace read mean {trace_mean:.2f} us vs "
+          f"stats read mean {stats_mean:.2f} us")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "list":
@@ -218,6 +272,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "run":
         return _cmd_run(args.workload, args.system, args.requests,
                         args.verify)
+    if args.command == "trace":
+        return _cmd_trace(args.workload, args.system, args.requests,
+                          args.out, args.buffer)
     raise AssertionError(f"unhandled command {args.command}")
 
 

@@ -244,6 +244,10 @@ class ICASHController(StorageSystem):
 
     def _read_one(self, lba: int) -> Tuple[float, np.ndarray]:
         vb = self.cache.get(lba)
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.instant("cache_lookup", lba=lba,
+                           outcome="miss" if vb is None else vb.kind.value)
         if vb is None:
             latency, content, vb = self._read_miss(lba)
         elif vb.is_associate or (vb.is_reference and vb.has_delta):
@@ -417,6 +421,10 @@ class ICASHController(StorageSystem):
         signatures = block_signatures(content, self.config.signature_scheme)
         self.heatmap.record(signatures)
         vb = self.cache.get(lba)
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.instant("cache_lookup", lba=lba,
+                           outcome="miss" if vb is None else vb.kind.value)
         if vb is None:
             vb = self._revive_for_write(lba)
         if vb.is_associate:
@@ -451,14 +459,24 @@ class ICASHController(StorageSystem):
         """
         ref_lba = vb.ref_lba
         ref_vb = self.cache.get(ref_lba)
+        tracer = self.tracer
         if ref_vb is None or not ref_vb.has_data:
+            # The reference read overlaps request processing (§5.1):
+            # charged to background time, traced off the critical path.
+            if tracer.enabled:
+                tracer.begin_background()
             self.background_time += self._ssd_read_latency(ref_lba)
+            if tracer.enabled:
+                tracer.end_background()
             self.stats.bump("ssd_ref_reads_background")
         delta = encode_delta(content, self._ssd_data[ref_lba])
         cpu = self.config.compress_s
         self.cpu_time += cpu
-        latency = (self.dram.access()
-                   + cpu * self.config.compress_exposed_fraction)
+        exposed = cpu * self.config.compress_exposed_fraction
+        latency = self.dram.access() + exposed
+        if tracer.enabled:
+            tracer.span("delta_encode", exposed, lba=vb.lba,
+                        nbytes=delta.size_bytes)
         if delta.size_bytes > self.config.delta_spill_bytes:
             latency += self._spill_to_ssd(vb, content)
             return latency
@@ -482,8 +500,12 @@ class ICASHController(StorageSystem):
         delta = encode_delta(content, self._ssd_data[vb.lba])
         cpu = self.config.compress_s
         self.cpu_time += cpu
-        latency = (self.dram.access()
-                   + cpu * self.config.compress_exposed_fraction)
+        exposed = cpu * self.config.compress_exposed_fraction
+        latency = self.dram.access() + exposed
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.span("delta_encode", exposed, lba=vb.lba,
+                        nbytes=delta.size_bytes)
         if delta.is_identity:
             # Content reverted to the frozen copy: drop any standing delta.
             self.cache.drop_delta(vb)
@@ -498,7 +520,11 @@ class ICASHController(StorageSystem):
         if delta.size_bytes > self.config.delta_spill_bytes:
             if external_dependents == 0:
                 # Nothing depends on the frozen copy: refresh it in place.
+                if tracer.enabled:
+                    tracer.begin_background()
                 self.background_time += self._ssd_write(vb.lba, content)
+                if tracer.enabled:
+                    tracer.end_background()
                 self.cache.drop_delta(vb)
                 self.cache.drop_data(vb)
                 self._unmap_delta(vb.lba)
@@ -600,7 +626,13 @@ class ICASHController(StorageSystem):
         self._dirty_delta_lbas.clear()
         if not records:
             return 0.0
+        tracer = self.tracer
+        scoped = background and tracer.enabled
+        if scoped:
+            tracer.begin_background("flush", outcome="deltas")
         latency = self._append_to_log(records, relogging=False)
+        if scoped:
+            tracer.end_background()
         for record in records:
             vb = self.cache.get(record.lba, touch=False)
             if vb is not None:
@@ -708,12 +740,18 @@ class ICASHController(StorageSystem):
                  if vb.data_dirty and vb.has_data]
         if not dirty:
             return 0.0
+        tracer = self.tracer
+        scoped = background and tracer.enabled
+        if scoped:
+            tracer.begin_background("flush", outcome="data")
         latency = 0.0
         # Sort by lba so the write-back sweeps the disk in one direction.
         for vb in sorted(dirty, key=lambda b: b.lba):
             latency += self.hdd.write(vb.lba, 1)
             self.backing.set(vb.lba, vb.data)
             vb.data_dirty = False
+        if scoped:
+            tracer.end_background()
         self.stats.bump("data_writebacks", len(dirty))
         if background:
             self.background_time += latency
@@ -753,6 +791,9 @@ class ICASHController(StorageSystem):
 
     def _run_scan(self) -> None:
         config = self.config
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.begin_background("scan")
         needed = max(1, int(config.scan_window * 0.05))
         if len(self._free_slots) < needed:
             self._retire_cold_references(needed - len(self._free_slots))
@@ -766,6 +807,10 @@ class ICASHController(StorageSystem):
             self._promote_reference(vb)
         for assoc in result.associations:
             self._apply_association(assoc.vb, assoc.ref_lba, assoc.delta)
+        if tracer.enabled:
+            # The scan's own CPU comparisons have no individual spans;
+            # fold them into the enclosing scan span's duration.
+            tracer.end_background(extra_s=result.cpu_time)
         self.stats.bump("scans")
         self.stats.bump("scan_comparisons", result.comparisons)
 
@@ -873,7 +918,12 @@ class ICASHController(StorageSystem):
         if victim.delta_dirty:
             self._flush_deltas(background=True)
         if victim.data_dirty and victim.has_data:
+            tracer = self.tracer
+            if tracer.enabled:
+                tracer.begin_background()
             self.background_time += self.hdd.write(victim.lba, 1)
+            if tracer.enabled:
+                tracer.end_background()
             self.backing.set(victim.lba, victim.data)
             victim.data_dirty = False
         if victim.is_associate:
@@ -894,7 +944,12 @@ class ICASHController(StorageSystem):
                 if victim is None or victim is vb:
                     return False
                 if victim.data_dirty:
+                    tracer = self.tracer
+                    if tracer.enabled:
+                        tracer.begin_background()
                     self.background_time += self.hdd.write(victim.lba, 1)
+                    if tracer.enabled:
+                        tracer.end_background()
                     self.backing.set(victim.lba, victim.data)
                 self.cache.drop_data(victim)
                 self.stats.bump("data_evictions")
@@ -998,6 +1053,9 @@ class ICASHController(StorageSystem):
 
     def _decompress_cost(self) -> float:
         self.cpu_time += self.config.decompress_s
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.span("delta_decode", self.config.decompress_s)
         return self.config.decompress_s
 
     # ------------------------------------------------------------------

@@ -27,6 +27,7 @@ from typing import Dict, Iterator, List, Sequence, Tuple
 
 from repro.delta.encoder import Delta
 from repro.sim.request import BLOCK_SIZE
+from repro.sim.trace import NULL_TRACER
 
 MAGIC = 0x1CA5_00DD
 _BLOCK_HEADER = struct.Struct("<IIH")
@@ -216,23 +217,41 @@ class DeltaLog:
         return self._packer.unpack(self._contents[slot])
 
     def _write_extent(self, slots: List[int]) -> float:
-        latency = 0.0
-        run_start = slots[0]
-        run_len = 1
-        for slot in slots[1:]:
-            if slot == run_start + run_len:
-                run_len += 1
-            else:
-                latency += self.hdd.write(self.base_lba + run_start, run_len)
-                run_start, run_len = slot, 1
-        latency += self.hdd.write(self.base_lba + run_start, run_len)
-        return latency
+        # Log appends are semantically distinct from ordinary data-region
+        # I/O; re-label the raw device spans for the trace (the event's
+        # outcome still carries the device's own access classification).
+        tracer = getattr(self.hdd, "tracer", NULL_TRACER)
+        if tracer.enabled:
+            tracer.push_name_scope("hdd_log_append")
+        try:
+            latency = 0.0
+            run_start = slots[0]
+            run_len = 1
+            for slot in slots[1:]:
+                if slot == run_start + run_len:
+                    run_len += 1
+                else:
+                    latency += self.hdd.write(self.base_lba + run_start,
+                                              run_len)
+                    run_start, run_len = slot, 1
+            latency += self.hdd.write(self.base_lba + run_start, run_len)
+            return latency
+        finally:
+            if tracer.enabled:
+                tracer.pop_name_scope()
 
     def read_block(self, slot: int) -> Tuple[float, List[DeltaRecord]]:
         """Fetch one delta block; returns (latency, all packed records)."""
         if slot not in self._contents:
             raise KeyError(f"log slot {slot} holds no delta block")
-        latency = self.hdd.read(self.base_lba + slot, 1)
+        tracer = getattr(self.hdd, "tracer", NULL_TRACER)
+        if tracer.enabled:
+            tracer.push_name_scope("hdd_log_read")
+        try:
+            latency = self.hdd.read(self.base_lba + slot, 1)
+        finally:
+            if tracer.enabled:
+                tracer.pop_name_scope()
         return latency, self._packer.unpack(self._contents[slot])
 
     def replay(self) -> Iterator[DeltaRecord]:

@@ -12,7 +12,9 @@ from __future__ import annotations
 import abc
 from dataclasses import dataclass
 
+from repro.sim.request import BLOCK_SIZE
 from repro.sim.stats import StatsCollector
+from repro.sim.trace import NULL_TRACER
 
 
 @dataclass(frozen=True)
@@ -30,12 +32,21 @@ class DeviceSpec:
 class Device(abc.ABC):
     """Abstract block device addressed in 4 KB logical blocks."""
 
+    #: Per-request trace sink (see :mod:`repro.sim.trace`).  The shared
+    #: null tracer makes every emission site a no-op by default;
+    #: :meth:`repro.baselines.base.StorageSystem.set_tracer` swaps in a
+    #: recording tracer for observability runs.
+    tracer = NULL_TRACER
+
     def __init__(self, capacity_blocks: int, name: str) -> None:
         if capacity_blocks <= 0:
             raise ValueError(
                 f"capacity must be positive, got {capacity_blocks}")
         self.capacity_blocks = capacity_blocks
         self.name = name
+        #: Event-name prefix for emitted trace spans (``{trace_name}_read``
+        #: and so on); devices with instance-specific names override it.
+        self.trace_name = name
         self.stats = StatsCollector()
         #: Total time (s) the device spent servicing operations.
         self.busy_time = 0.0
@@ -61,12 +72,23 @@ class Device(abc.ABC):
                 f"span [{lba}, {lba + nblocks}) outside device "
                 f"{self.name} of {self.capacity_blocks} blocks")
 
-    def _account(self, kind: str, nblocks: int, latency: float) -> float:
-        """Record an operation's counters and busy time; return latency."""
+    def _account(self, kind: str, nblocks: int, latency: float,
+                 lba: int = None, outcome: str = None) -> float:
+        """Record an operation's counters and busy time; return latency.
+
+        When a recording tracer is attached, also emits one trace span
+        (``{trace_name}_{kind}``) carrying the span's block address,
+        byte count and optional outcome tag.
+        """
         self.stats.bump(f"{kind}_ops")
         self.stats.bump(f"{kind}_blocks", nblocks)
         self.stats.record_latency(kind, latency)
         self.busy_time += latency
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.device_span(self.trace_name, kind, latency, lba=lba,
+                               nbytes=nblocks * BLOCK_SIZE,
+                               outcome=outcome)
         return latency
 
     @property

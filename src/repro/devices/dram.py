@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from repro.sim.request import BLOCK_SIZE
 from repro.sim.stats import StatsCollector
+from repro.sim.trace import NULL_TRACER
 
 
 class DRAMBuffer:
@@ -21,6 +22,12 @@ class DRAMBuffer:
 
     #: Time to move one 4 KB block through DRAM (copy + bookkeeping).
     BLOCK_COPY_S = 1e-6
+
+    #: Trace sink; emits ``dram_access`` spans when a recording tracer
+    #: is attached (instances may carry descriptive names like
+    #: ``icash-ram``, so the event prefix is pinned here).
+    tracer = NULL_TRACER
+    trace_name = "dram"
 
     def __init__(self, capacity_bytes: int, name: str = "dram") -> None:
         if capacity_bytes <= 0:
@@ -74,6 +81,10 @@ class DRAMBuffer:
         latency = self.BLOCK_COPY_S * max(1, -(-nbytes // BLOCK_SIZE))
         self.stats.bump("accesses")
         self.busy_time += latency
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.device_span(self.trace_name, "access", latency,
+                               nbytes=nbytes)
         return latency
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -72,29 +72,31 @@ class HardDiskDrive(Device):
 
     # -- latency model ----------------------------------------------------
 
-    def _positioning_time(self, lba: int) -> float:
-        """Seek + rotation cost of moving the head to ``lba``."""
+    def _positioning_time(self, lba: int) -> "tuple[float, str]":
+        """Seek + rotation cost of moving the head to ``lba``, plus the
+        access-pattern classification (``sequential``/``near``/``random``)."""
         distance = abs(lba - self._head)
         if distance == 0:
             # Perfectly sequential: the head is already there and the next
             # sector is about to pass under it.
-            return 0.0
+            return 0.0, "sequential"
         if distance <= self.spec.near_span_blocks:
             # Short hop: track-to-track seek, still pay average rotation.
             self.stats.bump("near_accesses")
-            return self.spec.min_seek_s + self.spec.avg_rotation_s
+            return self.spec.min_seek_s + self.spec.avg_rotation_s, "near"
         self.stats.bump("random_accesses")
         seek = self.spec.seek_time(distance, self.capacity_blocks)
-        return seek + self.spec.avg_rotation_s
+        return seek + self.spec.avg_rotation_s, "random"
 
     def _service(self, kind: str, lba: int, nblocks: int) -> float:
         self._check_span(lba, nblocks)
-        positioning = self._positioning_time(lba)
+        positioning, pattern = self._positioning_time(lba)
         if positioning == 0.0:
             self.stats.bump("sequential_accesses")
         latency = positioning + self.spec.transfer_time(nblocks)
         self._head = lba + nblocks
-        return self._account(kind, nblocks, latency)
+        return self._account(kind, nblocks, latency, lba=lba,
+                             outcome=pattern)
 
     def read(self, lba: int, nblocks: int = 1) -> float:
         return self._service("read", lba, nblocks)

@@ -47,13 +47,13 @@ class NVRAM(Device):
         self._check_span(lba, nblocks)
         latency = (self.spec.read_s
                    + (nblocks - 1) * self.spec.streaming_block_s)
-        return self._account("read", nblocks, latency)
+        return self._account("read", nblocks, latency, lba=lba)
 
     def write(self, lba: int, nblocks: int = 1) -> float:
         self._check_span(lba, nblocks)
         latency = (self.spec.write_s
                    + (nblocks - 1) * self.spec.streaming_block_s)
-        return self._account("write", nblocks, latency)
+        return self._account("write", nblocks, latency, lba=lba)
 
     @property
     def capacity_bytes(self) -> int:

@@ -31,6 +31,8 @@ class RAID0Array(Device):
         if chunk_blocks < 1:
             raise ValueError(f"chunk must be >= 1 block, got {chunk_blocks}")
         super().__init__(capacity_blocks, f"raid0x{ndisks}")
+        # One stable trace-event prefix regardless of stripe width.
+        self.trace_name = "raid0"
         self.ndisks = ndisks
         self.chunk_blocks = chunk_blocks
         per_disk = -(-capacity_blocks // ndisks) + chunk_blocks
@@ -71,7 +73,8 @@ class RAID0Array(Device):
             slowest = max(slowest, disk_time)
         if len(per_disk) > 1:
             self.stats.bump("parallel_requests")
-        return self._account(kind, nblocks, slowest)
+        return self._account(kind, nblocks, slowest, lba=lba,
+                             outcome=f"disks={len(per_disk)}")
 
     def read(self, lba: int, nblocks: int = 1) -> float:
         return self._service("read", lba, nblocks)

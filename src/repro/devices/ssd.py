@@ -137,7 +137,7 @@ class FlashSSD(Device):
         # First page pays the full latency, pipelined pages the reduced one.
         latency = (self._read_latency()
                    + (nblocks - 1) * self.spec.pipelined_page_s)
-        return self._account("read", nblocks, latency)
+        return self._account("read", nblocks, latency, lba=lba)
 
     # -- writes ---------------------------------------------------------------
 
@@ -152,7 +152,7 @@ class FlashSSD(Device):
         if nblocks > 1:
             latency = (latency - (nblocks - 1) * self.spec.program_s
                        + (nblocks - 1) * self.spec.pipelined_program_s)
-        return self._account("write", nblocks, latency)
+        return self._account("write", nblocks, latency, lba=lba)
 
     def read_followup(self, lba: int) -> float:
         """A read issued back-to-back with a preceding read of the same
@@ -164,7 +164,8 @@ class FlashSSD(Device):
         """
         self._check_span(lba, 1)
         self._footprint.add(lba)
-        return self._account("read", 1, self.spec.pipelined_page_s)
+        return self._account("read", 1, self.spec.pipelined_page_s,
+                             lba=lba, outcome="pipelined")
 
     def trim(self, lba: int, nblocks: int = 1) -> None:
         """Invalidate logical blocks without writing (cache evictions)."""
@@ -274,6 +275,13 @@ class FlashSSD(Device):
         latency += self.spec.erase_s
         self._free.append(victim_idx)
         self.stats.bump("gc_erases")
+        tracer = self.tracer
+        if tracer.enabled:
+            # The stall is already inside the triggering write's span, so
+            # this is a device-internal mark, not a timeline-advancing
+            # span — breakdowns must not double-count it.
+            tracer.mark("gc", latency,
+                        outcome=f"moved={len(relocated)}")
         return latency
 
     # -- wear reporting -----------------------------------------------------

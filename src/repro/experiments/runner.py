@@ -126,19 +126,26 @@ def run_benchmark(workload: Workload, system: StorageSystem,
                   verify_reads: bool = False,
                   warmup_fraction: float = 0.25,
                   preload: bool = True,
-                  flush_at_end: bool = True) -> RunResult:
+                  flush_at_end: bool = True,
+                  tracer=None) -> RunResult:
     """Replay ``workload`` into ``system`` and measure the run.
 
     ``preload`` runs the architecture's data-set organisation pass
     (:meth:`StorageSystem.ingest`) before the stream — the load phase
     every real benchmark performs — and excludes both its time and its
     device writes from the measured results.
+
+    ``tracer`` (a :class:`repro.sim.trace.RingBufferTracer`) is attached
+    *after* the ingest pass so the trace covers the benchmark stream
+    itself rather than flooding the ring buffer with load-phase events.
     """
     if not 0.0 <= warmup_fraction < 1.0:
         raise ValueError(
             f"warmup_fraction must be in [0, 1), got {warmup_fraction}")
     if preload:
         system.ingest()
+    if tracer is not None:
+        system.set_tracer(tracer)
     cpu_base = system.cpu_time
     ssd_writes_base = system.ssd_write_ops
     ssd_write_blocks_base = system.ssd_write_blocks
@@ -158,8 +165,7 @@ def run_benchmark(workload: Workload, system: StorageSystem,
             cpu_at_warmup = system.cpu_time
             bg_at_warmup = system.background_time
         if verify_reads and request.is_read:
-            latency, contents = system.read(request.lba, request.nblocks)
-            system.stats.record_latency("read", latency)
+            latency, contents = system.process_read(request)
             shadow = workload.shadow
             for offset, content in enumerate(contents):
                 expected = shadow[request.lba + offset]

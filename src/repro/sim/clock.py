@@ -22,6 +22,22 @@ class VirtualClock:
         """Current virtual time in seconds."""
         return self._now
 
+    @property
+    def now_us(self) -> float:
+        """Current virtual time in microseconds (trace exporters' unit)."""
+        return self._now * 1e6
+
+    def advance_to(self, timestamp: float) -> float:
+        """Move time forward to ``timestamp`` if it lies ahead.
+
+        A no-op when ``timestamp`` is in the past — used by the tracer to
+        reconcile a request's end time without ever rewinding.  Returns
+        the (possibly unchanged) current time.
+        """
+        if timestamp > self._now:
+            self._now = float(timestamp)
+        return self._now
+
     def advance(self, seconds: float) -> float:
         """Move time forward by ``seconds`` and return the new time.
 

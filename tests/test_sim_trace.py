@@ -1,0 +1,363 @@
+"""Tests for the per-request tracing layer (`repro.sim.trace`).
+
+Covers the ring buffer, timeline ordering, both exporters' round-trips,
+the controller integration (a delta-mapped read emits the paper's
+SSD-read + delta-decode pair), the exactness invariant (a request's
+child spans sum to its latency, so breakdowns reproduce the stats
+means), and the schema/documentation parity check.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core import BlockKind, ICASHConfig, ICASHController
+from repro.experiments.runner import run_benchmark
+from repro.experiments.systems import make_system
+from repro.sim.request import BLOCK_SIZE, IORequest, OpType
+from repro.sim.trace import (EVENT_TYPES, NULL_TRACER, TRACK_BACKGROUND,
+                             TRACK_REQUEST, NullTracer, RingBufferTracer,
+                             TraceEvent, export_chrome_trace, export_jsonl,
+                             load_chrome_trace, phase_breakdown, read_jsonl)
+from repro.workloads import SysBenchWorkload
+
+from conftest import make_dataset
+
+DOCS = Path(__file__).resolve().parents[1] / "docs" / "OBSERVABILITY.md"
+
+
+def small_config(**overrides) -> ICASHConfig:
+    defaults = dict(
+        ssd_capacity_blocks=64,
+        data_ram_bytes=32 * BLOCK_SIZE,
+        delta_ram_bytes=64 * 1024,
+        max_virtual_blocks=512,
+        log_blocks=512,
+        scan_interval=100,
+        scan_window=256,
+        flush_interval=128,
+    )
+    defaults.update(overrides)
+    return ICASHConfig(**defaults)
+
+
+def family_dataset(n_blocks: int = 256, n_families: int = 8,
+                   seed: int = 3) -> np.ndarray:
+    gen = np.random.default_rng(seed)
+    bases = gen.integers(0, 256, (n_families, BLOCK_SIZE), dtype=np.uint8)
+    dataset = bases[gen.integers(0, n_families, n_blocks)].copy()
+    for lba in range(n_blocks):
+        idx = gen.integers(0, BLOCK_SIZE, 16)
+        dataset[lba, idx] = gen.integers(0, 256, 16)
+    return dataset
+
+
+def traced_benchmark(n_requests: int = 600):
+    """One small SysBench run on I-CASH under a recording tracer."""
+    workload = SysBenchWorkload(n_requests=n_requests)
+    system = make_system("icash", workload)
+    tracer = RingBufferTracer()
+    result = run_benchmark(workload, system, tracer=tracer)
+    return tracer, system, result
+
+
+class TestNullTracer:
+    def test_disabled_and_noop(self):
+        tracer = NullTracer()
+        assert tracer.enabled is False
+        tracer.begin_request("read", 0, 1)
+        tracer.span("ssd_read", 1e-4)
+        tracer.instant("cache_lookup")
+        tracer.mark("gc", 1e-3)
+        tracer.device_span("ssd", "read", 1e-4)
+        tracer.begin_background("flush")
+        tracer.end_background()
+        tracer.push_name_scope("hdd_log_append")
+        tracer.pop_name_scope()
+        tracer.end_request(1e-4)
+
+    def test_default_emits_nothing(self):
+        controller = ICASHController(make_dataset(64), small_config())
+        assert controller.tracer is NULL_TRACER
+        controller.write(3, [np.full(BLOCK_SIZE, 0xAB, dtype=np.uint8)])
+        controller.read(3)
+        # No recording tracer anywhere: the shared null sink has no
+        # buffer at all, so there is nothing to have been written to.
+        assert not hasattr(NULL_TRACER, "events")
+
+
+class TestRingBuffer:
+    def test_eviction_keeps_newest_and_counts_dropped(self):
+        tracer = RingBufferTracer(capacity_events=4)
+        for i in range(10):
+            tracer.span("ssd_read", 1e-6, lba=i)
+        assert len(tracer.events) == 4
+        assert tracer.dropped == 6
+        assert [e.lba for e in tracer.events] == [6, 7, 8, 9]
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            RingBufferTracer(capacity_events=0)
+
+    def test_unbounded_keeps_everything(self):
+        tracer = RingBufferTracer(capacity_events=None)
+        for i in range(1000):
+            tracer.span("ssd_read", 1e-6)
+        assert len(tracer.events) == 1000
+        assert tracer.dropped == 0
+
+    def test_unknown_event_names_rejected(self):
+        tracer = RingBufferTracer()
+        with pytest.raises(ValueError):
+            tracer.span("made_up_event", 1e-6)
+        with pytest.raises(ValueError):
+            tracer.mark("made_up_event", 1e-6)
+        with pytest.raises(ValueError):
+            tracer.push_name_scope("made_up_event")
+
+    def test_request_nesting_guarded(self):
+        tracer = RingBufferTracer()
+        with pytest.raises(RuntimeError):
+            tracer.end_request(1e-6)
+        tracer.begin_request("read", 0, 1)
+        with pytest.raises(RuntimeError):
+            tracer.begin_request("read", 1, 1)
+        tracer.end_request(1e-6)
+        with pytest.raises(RuntimeError):
+            tracer.end_background()
+
+
+class TestTimeline:
+    def test_request_spans_tile_monotonically(self):
+        tracer, _, _ = traced_benchmark()
+        requests = [e for e in tracer.events
+                    if e.name == "request_start"]
+        assert len(requests) > 100
+        requests.sort(key=lambda e: e.ts)
+        for prev, nxt in zip(requests, requests[1:]):
+            # Monotonic, non-overlapping: each request starts at or
+            # after the previous one ended on the busy-time timeline.
+            assert nxt.ts >= prev.ts + prev.dur - 1e-12
+
+    def test_children_stay_inside_their_request(self):
+        tracer, _, _ = traced_benchmark()
+        bounds = {e.req: (e.ts, e.ts + e.dur) for e in tracer.events
+                  if e.name == "request_start"}
+        for event in tracer.events:
+            if event.track != TRACK_REQUEST \
+                    or event.name == "request_start":
+                continue
+            start, end = bounds[event.req]
+            assert event.ts >= start - 1e-12
+            assert event.ts + event.dur <= end + 1e-12
+
+    def test_background_track_stays_off_request_timeline(self):
+        tracer, _, _ = traced_benchmark()
+        bg = [e for e in tracer.events if e.track == TRACK_BACKGROUND]
+        assert bg, "an I-CASH run flushes and scans in the background"
+        names = {e.name for e in bg}
+        assert names & {"flush", "scan"}
+
+
+class TestExactness:
+    """Every second of request latency is covered by a child span."""
+
+    def test_child_spans_sum_to_request_latency(self):
+        tracer, _, _ = traced_benchmark()
+        totals: dict = {}
+        for event in tracer.events:
+            if event.track != TRACK_REQUEST \
+                    or event.name == "request_start":
+                continue
+            totals[event.req] = totals.get(event.req, 0.0) + event.dur
+        checked = 0
+        for event in tracer.events:
+            if event.name != "request_start":
+                continue
+            covered = totals.get(event.req, 0.0)
+            assert covered == pytest.approx(event.dur, rel=1e-9, abs=1e-12)
+            checked += 1
+        assert checked > 100
+
+    def test_breakdown_means_match_stats(self):
+        tracer, system, _ = traced_benchmark()
+        assert tracer.dropped == 0
+        for op in ("read", "write"):
+            breakdown = phase_breakdown(tracer.events, op=op)
+            stats = system.stats.latency(op)
+            assert breakdown.n_requests == stats.count
+            assert breakdown.mean_us == pytest.approx(stats.mean_us,
+                                                      rel=1e-9)
+            phase_sum = sum(breakdown.phases.values()) + breakdown.other_s
+            assert phase_sum == pytest.approx(breakdown.total_s, rel=1e-9)
+            assert breakdown.other_s == pytest.approx(0.0, abs=1e-12)
+            assert op in breakdown.render()
+
+
+class TestControllerIntegration:
+    def test_delta_mapped_read_emits_ssd_read_and_decode(self):
+        controller = ICASHController(family_dataset(), small_config())
+        controller.ingest()
+        snapshot = controller.delta_map_snapshot()
+        assert snapshot, "family dataset must produce delta mappings"
+        lba = min(lba for lba, (ref, _slot) in snapshot.items()
+                  if ref != lba)
+        tracer = RingBufferTracer()
+        controller.set_tracer(tracer)
+        latency, (content,) = controller.process_read(
+            IORequest(op=OpType.READ, lba=lba))
+        assert np.array_equal(content, controller.backing.get(lba))
+        names = [e.name for e in tracer.events]
+        assert "request_start" in names
+        assert "ssd_read" in names
+        assert "delta_decode" in names
+        lookups = [e for e in tracer.events if e.name == "cache_lookup"]
+        assert lookups and lookups[0].lba == lba
+        children = sum(e.dur for e in tracer.events
+                       if e.track == TRACK_REQUEST
+                       and e.name != "request_start")
+        assert children == pytest.approx(latency, rel=1e-9)
+
+    def test_log_resident_delta_read_emits_hdd_log_read(self):
+        controller = ICASHController(family_dataset(), small_config())
+        controller.ingest()
+        snapshot = controller.delta_map_snapshot()
+        lba, slot = next((lba, slot) for lba, (ref, slot)
+                         in snapshot.items()
+                         if slot is not None and ref != lba)
+        # Force the delta out of RAM so the read must fetch the packed
+        # delta block from the HDD log (the evicted-associate path).
+        vb = controller.cache.get(lba, touch=False)
+        if vb is not None and vb.has_delta:
+            controller.cache.drop_delta(vb)
+        tracer = RingBufferTracer()
+        controller.set_tracer(tracer)
+        latency, (content,) = controller.process_read(
+            IORequest(op=OpType.READ, lba=lba))
+        assert np.array_equal(content, controller.backing.get(lba))
+        names = {e.name for e in tracer.events}
+        assert "hdd_log_read" in names
+        assert "ssd_read" in names
+        assert "delta_decode" in names
+
+    def test_flush_appends_are_relabelled(self):
+        controller = ICASHController(family_dataset(), small_config())
+        controller.ingest()
+        tracer = RingBufferTracer()
+        controller.set_tracer(tracer)
+        rng = np.random.default_rng(11)
+        snapshot = controller.delta_map_snapshot()
+        lba = next(lba for lba, (ref, _s) in snapshot.items()
+                   if ref != lba)
+        base = controller.backing.get(lba).copy()
+        base[:8] = rng.integers(0, 256, 8, dtype=np.uint8)
+        controller.write(lba, [base])
+        controller.flush()
+        names = {e.name for e in tracer.events}
+        assert "hdd_log_append" in names
+        assert "hdd_write" not in \
+            {e.name for e in tracer.events
+             if e.outcome == "deltas"}, \
+            "log appends must not appear as plain data-region writes"
+
+
+class TestExporters:
+    def make_events(self):
+        tracer = RingBufferTracer()
+        tracer.begin_request("read", 7, 2)
+        tracer.instant("cache_lookup", lba=7, outcome="associate")
+        tracer.span("ssd_read", 150e-6, lba=7, nbytes=4096,
+                    outcome="pipelined")
+        tracer.span("delta_decode", 10e-6)
+        tracer.end_request(160e-6)
+        tracer.begin_background("flush", outcome="deltas")
+        tracer.span("hdd_log_append", 2e-3, lba=0, nbytes=8192)
+        tracer.end_background()
+        return list(tracer.events)
+
+    @staticmethod
+    def assert_same(a: TraceEvent, b: TraceEvent) -> None:
+        assert a.name == b.name
+        assert a.ts == pytest.approx(b.ts, abs=1e-12)
+        assert a.dur == pytest.approx(b.dur, abs=1e-12)
+        assert a.track == b.track
+        assert a.req == b.req
+        assert a.lba == b.lba
+        assert a.nbytes == b.nbytes
+        assert a.outcome == b.outcome
+
+    def test_jsonl_round_trip(self, tmp_path):
+        events = self.make_events()
+        path = str(tmp_path / "trace.jsonl")
+        written = export_jsonl(events, path)
+        assert written == len(events)
+        loaded = read_jsonl(path)
+        assert len(loaded) == len(events)
+        for a, b in zip(events, loaded):
+            self.assert_same(a, b)
+
+    def test_chrome_round_trip(self, tmp_path):
+        events = self.make_events()
+        path = str(tmp_path / "trace.json")
+        written = export_chrome_trace(events, path)
+        assert written == len(events)
+        loaded = load_chrome_trace(path)
+        assert len(loaded) == len(events)
+        for a, b in zip(events, loaded):
+            self.assert_same(a, b)
+
+    def test_chrome_format_shape(self):
+        import json
+
+        buffer = io.StringIO()
+        export_chrome_trace(self.make_events(), buffer)
+        payload = json.loads(buffer.getvalue())
+        records = payload["traceEvents"]
+        phases = {r["ph"] for r in records}
+        assert phases == {"M", "X", "i"}
+        thread_names = {r["args"]["name"] for r in records
+                        if r.get("name") == "thread_name"}
+        assert "requests" in thread_names
+        spans = [r for r in records if r["ph"] == "X"]
+        assert all(r["dur"] > 0 for r in spans)
+        assert all(isinstance(r["ts"], float) for r in spans)
+
+
+class TestDocumentationParity:
+    def test_every_event_type_documented(self):
+        text = DOCS.read_text(encoding="utf-8")
+        documented = set(re.findall(r"^### `(\w+)`", text, re.MULTILINE))
+        assert documented == EVENT_TYPES, (
+            f"docs/OBSERVABILITY.md drifted from EVENT_TYPES: "
+            f"undocumented={sorted(EVENT_TYPES - documented)}, "
+            f"stale={sorted(documented - EVENT_TYPES)}")
+
+
+class TestCLI:
+    def test_trace_subcommand_end_to_end(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "trace.json"
+        code = main(["trace", "--workload", "sysbench",
+                     "--requests", "400", "--out", str(out)])
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "consistency:" in printed
+        assert "read phase breakdown" in printed
+        events = load_chrome_trace(str(out))
+        assert any(e.name == "request_start" for e in events)
+
+    def test_trace_subcommand_jsonl(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "trace.jsonl"
+        code = main(["trace", "--workload", "sysbench",
+                     "--requests", "300", "--out", str(out)])
+        assert code == 0
+        events = read_jsonl(str(out))
+        assert any(e.name == "request_start" for e in events)
