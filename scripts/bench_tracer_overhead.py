@@ -1,17 +1,21 @@
 #!/usr/bin/env python
-"""Measure the wall-clock overhead of the tracing layer.
+"""Measure the wall-clock overhead of the observability layers.
 
-Runs the same SysBench replay on the I-CASH element three ways:
+Runs the same SysBench replay on the I-CASH element four ways:
 
-* ``null``  — the default ``NULL_TRACER`` (every hook is a guarded
-  no-op; this is what every benchmark and test pays all the time),
+* ``null``  — the default ``NULL_TRACER`` and ``NULL_REGISTRY`` (every
+  hook is a guarded no-op; this is what every benchmark and test pays
+  all the time),
 * ``ring``  — a recording ``RingBufferTracer`` with the default 1 Mi
   event capacity,
-* ``ring+chrome`` — recording plus a Chrome ``trace_event`` export.
+* ``ring+chrome`` — recording plus a Chrome ``trace_event`` export,
+* ``monitor`` — a sampling metrics ``Monitor`` (real registry,
+  periodic sampler, per-request latency histograms; no tracer).
 
 Prints median wall-clock over ``--repeats`` runs and the overhead of
-each mode relative to ``null``.  The numbers quoted in the tracer
-overhead section of ``docs/TUNING.md`` come from this script::
+each mode relative to ``null``.  The numbers quoted in the tracer and
+sampler overhead sections of ``docs/TUNING.md`` come from this
+script::
 
     PYTHONPATH=src python scripts/bench_tracer_overhead.py
 """
@@ -29,6 +33,7 @@ sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
 from repro.experiments.runner import run_benchmark  # noqa: E402
 from repro.experiments.systems import make_system  # noqa: E402
+from repro.sim.metrics import Monitor  # noqa: E402
 from repro.sim.trace import (RingBufferTracer,  # noqa: E402
                              export_chrome_trace)
 from repro.workloads import SysBenchWorkload  # noqa: E402
@@ -37,9 +42,10 @@ from repro.workloads import SysBenchWorkload  # noqa: E402
 def one_run(n_requests: int, mode: str) -> float:
     workload = SysBenchWorkload(n_requests=n_requests)
     system = make_system("icash", workload)
-    tracer = RingBufferTracer() if mode != "null" else None
+    tracer = RingBufferTracer() if mode.startswith("ring") else None
+    monitor = Monitor(interval_s=0.01) if mode == "monitor" else None
     started = time.perf_counter()
-    run_benchmark(workload, system, tracer=tracer)
+    run_benchmark(workload, system, tracer=tracer, monitor=monitor)
     if mode == "ring+chrome":
         with tempfile.NamedTemporaryFile("w", suffix=".json",
                                          delete=True) as handle:
@@ -56,7 +62,7 @@ def main() -> int:
     parser.add_argument("--repeats", type=int, default=5)
     args = parser.parse_args()
 
-    modes = ("null", "ring", "ring+chrome")
+    modes = ("null", "ring", "ring+chrome", "monitor")
     medians = {}
     for mode in modes:
         times = [one_run(args.requests, mode)

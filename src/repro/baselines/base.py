@@ -15,6 +15,7 @@ from typing import Iterable, List, Sequence, Tuple
 
 import numpy as np
 
+from repro.sim.metrics import NULL_REGISTRY
 from repro.sim.request import IORequest, OpType
 from repro.sim.stats import StatsCollector
 from repro.sim.trace import NULL_TRACER
@@ -28,6 +29,11 @@ class StorageSystem(abc.ABC):
     #: per instrumentation site; :meth:`set_tracer` attaches a recording
     #: tracer to the system and every device model under it.
     tracer = NULL_TRACER
+
+    #: Windowed metrics sink (see :mod:`repro.sim.metrics`).  The shared
+    #: null registry makes registration a no-op; :meth:`set_metrics`
+    #: attaches a real registry for monitoring runs.
+    metrics = NULL_REGISTRY
 
     def __init__(self, name: str, capacity_blocks: int) -> None:
         self.name = name
@@ -88,6 +94,33 @@ class StorageSystem(abc.ABC):
         self.tracer = tracer
         for device in self.devices():
             device.tracer = tracer
+
+    def set_metrics(self, registry) -> None:
+        """Register the whole stack's instruments with ``registry``.
+
+        Calls :meth:`register_metrics` on the system itself (subclasses
+        with internal state to expose override it) and on every device
+        beneath it.  Devices sharing a name (array members, mirrored
+        pairs) get ``name``, ``name-2``, ``name-3``... as their
+        ``device`` label so their series stay distinguishable.
+        """
+        self.metrics = registry
+        if not registry.enabled:
+            return
+        self.register_metrics(registry)
+        seen = {}
+        for device in self.devices():
+            register = getattr(device, "register_metrics", None)
+            if register is None:
+                continue
+            name = getattr(device, "name", "device")
+            seen[name] = seen.get(name, 0) + 1
+            label = name if seen[name] == 1 else f"{name}-{seen[name]}"
+            register(registry, label=label)
+
+    def register_metrics(self, registry) -> None:
+        """System-level instruments; the base system has none beyond
+        what the runner and devices register."""
 
     # -- request dispatch ------------------------------------------------------
 

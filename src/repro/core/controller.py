@@ -132,6 +132,52 @@ class ICASHController(StorageSystem):
             return (self.ssd, self.hdd, self.dram, self.nvram)
         return (self.ssd, self.hdd, self.dram)
 
+    def register_metrics(self, registry) -> None:
+        """Controller-level instruments (see ``docs/OBSERVABILITY.md``).
+
+        All callback-backed: each reads a cumulative counter or live
+        structure size at sample time, so the read/write paths are
+        untouched.  Together with the device instruments this covers the
+        paper's time-series quantities — delta-hit ratio, RAM fill,
+        reference churn, log occupancy.
+        """
+        if not registry.enabled:
+            return
+        stats, cache, segments, log = \
+            self.stats, self.cache, self.segments, self.log
+        registry.counter("delta_hits_total") \
+            .set_fn(lambda: stats.count("ram_delta_hits"))
+        registry.counter("delta_log_fetches_total") \
+            .set_fn(lambda: stats.count("log_delta_fetches"))
+
+        def hit_ratio() -> float:
+            hits = stats.count("ram_delta_hits")
+            total = hits + stats.count("log_delta_fetches")
+            return hits / total if total else 0.0
+
+        registry.gauge("delta_hit_ratio").set_fn(hit_ratio)
+        registry.counter("delta_writes_total") \
+            .set_fn(lambda: stats.count("delta_writes"))
+        registry.gauge("ram_data_fill") \
+            .set_fn(lambda: cache.data_blocks_used
+                    / max(1, cache.max_data_blocks))
+        registry.gauge("ram_delta_fill") \
+            .set_fn(lambda: segments.used_segments
+                    / max(1, segments.capacity_segments))
+        registry.gauge("references_active") \
+            .set_fn(lambda: len(cache.references()))
+        registry.counter("reference_churn_total") \
+            .set_fn(lambda: stats.count("references_created")
+                    + stats.count("references_retired"))
+        registry.gauge("dirty_deltas") \
+            .set_fn(lambda: len(self._dirty_delta_lbas))
+        registry.gauge("delta_log_occupancy") \
+            .set_fn(lambda: log.occupancy)
+        registry.counter("delta_log_wraps_total") \
+            .set_fn(lambda: log.wrap_count)
+        registry.counter("delta_log_appends_total") \
+            .set_fn(lambda: log.blocks_written)
+
     def read(self, lba: int, nblocks: int = 1
              ) -> Tuple[float, List[np.ndarray]]:
         self._check_span(lba, nblocks)

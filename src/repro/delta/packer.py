@@ -153,6 +153,11 @@ class DeltaLog:
         self._packer = DeltaBlockPacker()
         #: Corrupted blocks the last replay skipped (set by replay()).
         self.corrupt_blocks_skipped = 0
+        #: Times the circular log wrapped back to slot 0.  Monotone over
+        #: the log's life — compaction :meth:`reset` rewinds the write
+        #: pointer but not this counter (a wrap happened; the metrics
+        #: layer needs monotone counters).
+        self.wrap_count = 0
 
     @property
     def next_sequence(self) -> int:
@@ -180,6 +185,8 @@ class DeltaLog:
         for block in blocks:
             slot = self._next
             self._next = (self._next + 1) % self.size_blocks
+            if self._next == 0:
+                self.wrap_count += 1
             old = self._contents.get(slot)
             if old is not None:
                 try:
@@ -295,3 +302,8 @@ class DeltaLog:
     @property
     def blocks_written(self) -> int:
         return self._sequence
+
+    @property
+    def occupancy(self) -> float:
+        """Fraction of log slots currently holding a delta block."""
+        return len(self._contents) / self.size_blocks

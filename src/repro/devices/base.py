@@ -12,6 +12,7 @@ from __future__ import annotations
 import abc
 from dataclasses import dataclass
 
+from repro.sim.metrics import NULL_REGISTRY
 from repro.sim.request import BLOCK_SIZE
 from repro.sim.stats import StatsCollector
 from repro.sim.trace import NULL_TRACER
@@ -90,6 +91,34 @@ class Device(abc.ABC):
                                nbytes=nblocks * BLOCK_SIZE,
                                outcome=outcome)
         return latency
+
+    # -- metrics -----------------------------------------------------------
+
+    def register_metrics(self, registry=NULL_REGISTRY,
+                         label: str = None) -> None:
+        """Register this device's instruments with ``registry``.
+
+        Counters are callback-backed: they read the existing
+        :class:`~repro.sim.stats.StatsCollector` counters at sample
+        time, so registration adds nothing to the request path.
+        Subclasses extend (call ``super()`` first) with device-specific
+        instruments; ``label`` is the ``device`` label value (defaults
+        to the device name; :meth:`StorageSystem.set_metrics` dedups
+        collisions).
+        """
+        if not registry.enabled:
+            return
+        label = label if label is not None else self.name
+        stats = self.stats
+        registry.counter("device_read_ops_total", ("device",)) \
+            .labels(device=label) \
+            .set_fn(lambda: stats.count("read_ops"))
+        registry.counter("device_write_ops_total", ("device",)) \
+            .labels(device=label) \
+            .set_fn(lambda: stats.count("write_ops"))
+        registry.counter("device_busy_seconds", ("device",)) \
+            .labels(device=label) \
+            .set_fn(lambda: self.busy_time)
 
     @property
     def read_ops(self) -> int:

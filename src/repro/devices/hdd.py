@@ -108,3 +108,32 @@ class HardDiskDrive(Device):
     def head_position(self) -> int:
         """Current head position in blocks (exposed for tests)."""
         return self._head
+
+    # -- metrics ------------------------------------------------------------
+
+    def register_metrics(self, registry, label: str = None) -> None:
+        """Mechanical-pattern instruments on top of the generic set:
+        how often the head had to move (seek = near + random) versus
+        rode an existing sequential stream — the quantity I-CASH's log
+        layout exists to minimise."""
+        super().register_metrics(registry, label=label)
+        if not registry.enabled:
+            return
+        label = label if label is not None else self.name
+        stats = self.stats
+
+        def seeks() -> int:
+            return (stats.count("near_accesses")
+                    + stats.count("random_accesses"))
+
+        def seek_ratio() -> float:
+            total = seeks() + stats.count("sequential_accesses")
+            return seeks() / total if total else 0.0
+
+        registry.counter("hdd_seek_total", ("device",)) \
+            .labels(device=label).set_fn(seeks)
+        registry.counter("hdd_sequential_total", ("device",)) \
+            .labels(device=label) \
+            .set_fn(lambda: stats.count("sequential_accesses"))
+        registry.gauge("hdd_seek_ratio", ("device",)) \
+            .labels(device=label).set_fn(seek_ratio)

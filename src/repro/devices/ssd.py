@@ -284,6 +284,35 @@ class FlashSSD(Device):
                         outcome=f"moved={len(relocated)}")
         return latency
 
+    # -- metrics ------------------------------------------------------------
+
+    def register_metrics(self, registry, label: str = None) -> None:
+        """Flash-specific instruments on top of the generic device set:
+        programs/erases/GC (the endurance story behind Table 6), wear
+        spread and write amplification."""
+        super().register_metrics(registry, label=label)
+        if not registry.enabled:
+            return
+        label = label if label is not None else self.name
+        stats = self.stats
+        registry.counter("ssd_program_total", ("device",)) \
+            .labels(device=label) \
+            .set_fn(lambda: stats.count("write_blocks")
+                    + stats.count("gc_page_moves"))
+        registry.counter("ssd_erase_total", ("device",)) \
+            .labels(device=label) \
+            .set_fn(lambda: self.total_erases)
+        registry.counter("ssd_gc_total", ("device",)) \
+            .labels(device=label) \
+            .set_fn(lambda: stats.count("gc_erases"))
+        registry.gauge("ssd_wear_spread", ("device",)) \
+            .labels(device=label) \
+            .set_fn(lambda: max(b.erase_count for b in self._blocks)
+                    - min(b.erase_count for b in self._blocks))
+        registry.gauge("ssd_write_amplification", ("device",)) \
+            .labels(device=label) \
+            .set_fn(lambda: self.write_amplification)
+
     # -- wear reporting -----------------------------------------------------
 
     def erase_counts(self) -> List[int]:

@@ -28,7 +28,7 @@ end-to-end correctness check that makes the I-CASH numbers trustworthy
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -73,6 +73,13 @@ class RunResult:
     energy: EnergyReport
     counters: Dict[str, int] = field(default_factory=dict)
     verified_reads: int = 0
+    #: Windowed time series (a :class:`repro.sim.metrics.SeriesStore`)
+    #: when a :class:`repro.sim.metrics.Monitor` was attached; None for
+    #: plain runs.
+    series: Optional[object] = None
+    #: SLO breaches the monitor's health rules flagged (empty without a
+    #: monitor or when every window held).
+    slo_breaches: List = field(default_factory=list)
 
     @property
     def transactions_per_s(self) -> float:
@@ -127,7 +134,8 @@ def run_benchmark(workload: Workload, system: StorageSystem,
                   warmup_fraction: float = 0.25,
                   preload: bool = True,
                   flush_at_end: bool = True,
-                  tracer=None) -> RunResult:
+                  tracer=None,
+                  monitor=None) -> RunResult:
     """Replay ``workload`` into ``system`` and measure the run.
 
     ``preload`` runs the architecture's data-set organisation pass
@@ -138,6 +146,11 @@ def run_benchmark(workload: Workload, system: StorageSystem,
     ``tracer`` (a :class:`repro.sim.trace.RingBufferTracer`) is attached
     *after* the ingest pass so the trace covers the benchmark stream
     itself rather than flooding the ring buffer with load-phase events.
+
+    ``monitor`` (a :class:`repro.sim.metrics.Monitor`) likewise attaches
+    after ingest; its sampler runs on the aggregate device-busy-time
+    clock (``io_time_all``, the same virtual timeline trace spans lie
+    on) and its series and SLO breaches land in the returned result.
     """
     if not 0.0 <= warmup_fraction < 1.0:
         raise ValueError(
@@ -146,6 +159,8 @@ def run_benchmark(workload: Workload, system: StorageSystem,
         system.ingest()
     if tracer is not None:
         system.set_tracer(tracer)
+    if monitor is not None:
+        monitor.attach(system, workload)
     cpu_base = system.cpu_time
     ssd_writes_base = system.ssd_write_ops
     ssd_write_blocks_base = system.ssd_write_blocks
@@ -177,6 +192,8 @@ def run_benchmark(workload: Workload, system: StorageSystem,
         else:
             latency = system.process(request)
         io_time_all += latency
+        if monitor is not None:
+            monitor.on_request(request.is_read, latency, io_time_all)
         n_requests += 1
         if n_requests > warmup_cutoff:
             io_time_meas += latency
@@ -189,6 +206,8 @@ def run_benchmark(workload: Workload, system: StorageSystem,
         flush_latency = system.flush()
         io_time_all += flush_latency
         io_time_meas += flush_latency
+    if monitor is not None:
+        monitor.finish(io_time_all)
     concurrency = max(1, getattr(workload, "io_concurrency", 1))
     bg_meas = system.background_time - bg_at_warmup
     cpu_meas = system.cpu_time - cpu_at_warmup
@@ -228,7 +247,10 @@ def run_benchmark(workload: Workload, system: StorageSystem,
             full_app_cpu * getattr(workload, "app_cpu_fraction", 1.0),
             storage_cpu_s=system.cpu_time - cpu_base),
         counters=system.stats.counters(),
-        verified_reads=verified)
+        verified_reads=verified,
+        series=monitor.store if monitor is not None else None,
+        slo_breaches=list(monitor.breaches) if monitor is not None
+        else [])
 
 
 def run_grid(workload_factory, system_names,

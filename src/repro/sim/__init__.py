@@ -18,14 +18,24 @@ base class).
 
 from repro.sim.backing import BackingStore
 from repro.sim.clock import VirtualClock
+from repro.sim.metrics import (HealthMonitor, MetricsRegistry, Monitor,
+                               NULL_REGISTRY, PeriodicSampler, SeriesStore,
+                               SLORule)
 from repro.sim.request import IORequest, OpType
 from repro.sim.stats import LatencyStats, StatsCollector
 
 __all__ = [
     "BackingStore",
+    "HealthMonitor",
     "IORequest",
     "LatencyStats",
+    "MetricsRegistry",
+    "Monitor",
+    "NULL_REGISTRY",
     "OpType",
+    "PeriodicSampler",
+    "SLORule",
+    "SeriesStore",
     "StatsCollector",
     "VirtualClock",
 ]

@@ -29,12 +29,20 @@ class LatencyStats:
         self._sum = 0.0
         #: Cached ascending order of ``_samples``; ``None`` when stale.
         self._sorted: Optional[List[float]] = None
+        #: Streaming extrema, maintained on every record/merge so the
+        #: ``min``/``max`` properties never rescan the sample list.
+        self._min = math.inf
+        self._max = -math.inf
 
     def record(self, seconds: float) -> None:
         if seconds < 0:
             raise ValueError(f"latency cannot be negative: {seconds}")
         self._samples.append(seconds)
         self._sum += seconds
+        if seconds < self._min:
+            self._min = seconds
+        if seconds > self._max:
+            self._max = seconds
         if self._sorted is not None:
             # Keep the cache warm with an O(n) insertion rather than
             # throwing away the O(n log n) sort behind it.
@@ -81,16 +89,18 @@ class LatencyStats:
 
     @property
     def max(self) -> float:
-        return max(self._samples) if self._samples else 0.0
+        return self._max if self._samples else 0.0
 
     @property
     def min(self) -> float:
-        return min(self._samples) if self._samples else 0.0
+        return self._min if self._samples else 0.0
 
     def merge(self, other: "LatencyStats") -> None:
         """Fold another stats object into this one."""
         self._samples.extend(other._samples)
         self._sum += other._sum
+        self._min = min(self._min, other._min)
+        self._max = max(self._max, other._max)
         self._sorted = None
 
     def histogram(self, bins: int = 8, width: int = 40) -> str:

@@ -1,5 +1,7 @@
 """Unit tests for the energy, wear and CPU-utilisation models."""
 
+import math
+
 import pytest
 
 from repro.baselines import PureSSD, RAID0Storage
@@ -133,6 +135,45 @@ class TestWearModel:
     def test_wall_time_validated(self):
         with pytest.raises(ValueError):
             wear_report(FlashSSD(64), 0.0)
+
+    def test_zero_erase_evenness_is_level(self):
+        # Division-by-zero edge: no erases means mean erase count 0;
+        # evenness must report perfectly level (1.0), not blow up.
+        ssd = FlashSSD(64, SSDSpec(pages_per_block=8))
+        ssd.write(0, 4)  # a few programs, not enough to erase
+        report = wear_report(ssd, wall_time_s=1.0)
+        assert report.total_erases == 0
+        assert report.mean_erase_count == 0.0
+        assert report.wear_evenness == 1.0
+        assert report.erase_stddev == 0.0
+        assert report.projected_lifetime_years is None
+
+    def test_single_logical_block_ssd(self):
+        # Capacity <= pages_per_block: one logical flash block (plus
+        # over-provisioned spares).  Hammering it must still produce a
+        # finite, consistent report — the degenerate geometry the
+        # evenness ratio is most fragile on.
+        ssd = FlashSSD(8, SSDSpec(pages_per_block=8, overprovision=0.15))
+        for _ in range(40):
+            for lba in range(8):
+                ssd.write(lba, 1)
+        assert ssd.total_erases > 0
+        report = wear_report(ssd, wall_time_s=10.0)
+        assert report.wear_evenness >= 1.0
+        assert math.isfinite(report.wear_evenness)
+        assert report.max_erase_count <= report.total_erases
+        assert report.projected_lifetime_years is not None
+        assert report.projected_lifetime_years >= 0.0
+
+    def test_evenness_ratio_matches_counts(self):
+        ssd = FlashSSD(64, SSDSpec(pages_per_block=8, overprovision=0.15))
+        for _ in range(10):
+            for lba in range(64):
+                ssd.write(lba, 1)
+        report = wear_report(ssd, wall_time_s=10.0)
+        counts = ssd.erase_counts()
+        expected = max(counts) / (sum(counts) / len(counts))
+        assert report.wear_evenness == pytest.approx(expected)
 
 
 class TestCPUModel:

@@ -81,6 +81,37 @@ class TestLatencyStats:
         assert stats.min == 1.0
         assert stats.max == 5.0
 
+    def test_min_max_streaming_no_rescan(self):
+        # min/max are maintained on record(), not recomputed: mutating
+        # the sample list behind the object's back must not change them.
+        stats = LatencyStats()
+        stats.record(2.0)
+        stats.record(8.0)
+        stats._samples.append(99.0)  # bypasses record() on purpose
+        assert stats.max == 8.0
+        assert stats.min == 2.0
+
+    def test_min_max_survive_merge(self):
+        a, b = LatencyStats(), LatencyStats()
+        for value in (4.0, 6.0):
+            a.record(value)
+        for value in (1.0, 9.0):
+            b.record(value)
+        a.merge(b)
+        assert a.min == 1.0
+        assert a.max == 9.0
+        # Merging an empty side changes nothing.
+        a.merge(LatencyStats())
+        assert (a.min, a.max) == (1.0, 9.0)
+
+    def test_merge_into_empty_adopts_extrema(self):
+        a, b = LatencyStats(), LatencyStats()
+        b.record(0.5)
+        a.merge(b)
+        assert a.min == 0.5
+        assert a.max == 0.5
+        assert LatencyStats().min == 0.0  # empty stays at the 0.0 default
+
 
 class TestStatsCollector:
     def test_counters_start_at_zero(self):
@@ -109,6 +140,45 @@ class TestStatsCollector:
         a.merge(b)
         assert a.count("ops") == 5
         assert a.latency("read").count == 1
+
+    def test_merge_preserves_percentile_correctness(self):
+        # The merged collector must report the same percentiles as one
+        # collector that saw every sample directly — including when the
+        # sorted-order cache was already warm on both sides.
+        a, b, pooled = StatsCollector(), StatsCollector(), StatsCollector()
+        a_samples = [float(v) for v in (9, 1, 7, 3, 5)]
+        b_samples = [float(v) for v in (2, 8, 4, 6, 10, 12)]
+        for value in a_samples:
+            a.record_latency("read", value)
+            pooled.record_latency("read", value)
+        for value in b_samples:
+            b.record_latency("read", value)
+            pooled.record_latency("read", value)
+        # Warm both sort caches so merge must invalidate, not reuse.
+        a.latency("read").percentile(50)
+        b.latency("read").percentile(50)
+        a.merge(b)
+        merged = a.latency("read")
+        reference = pooled.latency("read")
+        for p in (0, 10, 25, 50, 75, 90, 99, 100):
+            assert merged.percentile(p) == reference.percentile(p), p
+        assert merged.min == reference.min == 1.0
+        assert merged.max == reference.max == 12.0
+        assert merged.mean == pytest.approx(reference.mean)
+
+    def test_merge_then_record_keeps_percentiles_exact(self):
+        # record() after merge() must rebuild/patch the sorted cache
+        # correctly (merge invalidates it; insort keeps it warm after).
+        a, b = StatsCollector(), StatsCollector()
+        for value in (3.0, 1.0):
+            a.record_latency("read", value)
+        b.record_latency("read", 2.0)
+        a.merge(b)
+        assert a.latency("read").percentile(50) == 2.0
+        a.record_latency("read", 0.5)
+        assert a.latency("read").percentile(50) == 1.0
+        assert a.latency("read").percentile(100) == 3.0
+        assert a.latency("read").min == 0.5
 
     def test_summary_flattens(self):
         stats = StatsCollector()
