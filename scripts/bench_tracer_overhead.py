@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Measure the wall-clock overhead of the observability layers.
 
-Runs the same SysBench replay on the I-CASH element four ways:
+Runs the same SysBench replay on the I-CASH element five ways:
 
 * ``null``  — the default ``NULL_TRACER`` and ``NULL_REGISTRY`` (every
   hook is a guarded no-op; this is what every benchmark and test pays
@@ -10,7 +10,10 @@ Runs the same SysBench replay on the I-CASH element four ways:
   event capacity,
 * ``ring+chrome`` — recording plus a Chrome ``trace_event`` export,
 * ``monitor`` — a sampling metrics ``Monitor`` (real registry,
-  periodic sampler, per-request latency histograms; no tracer).
+  periodic sampler, per-request latency histograms; no tracer),
+* ``event`` — the discrete-event queueing engine
+  (``run_benchmark(engine="event")``: capture tracer, per-device
+  stations, event heap) against the same legacy ``null`` baseline.
 
 Prints median wall-clock over ``--repeats`` runs and the overhead of
 each mode relative to ``null``.  The numbers quoted in the tracer and
@@ -44,8 +47,10 @@ def one_run(n_requests: int, mode: str) -> float:
     system = make_system("icash", workload)
     tracer = RingBufferTracer() if mode.startswith("ring") else None
     monitor = Monitor(interval_s=0.01) if mode == "monitor" else None
+    engine = "event" if mode == "event" else "legacy"
     started = time.perf_counter()
-    run_benchmark(workload, system, tracer=tracer, monitor=monitor)
+    run_benchmark(workload, system, tracer=tracer, monitor=monitor,
+                  engine=engine)
     if mode == "ring+chrome":
         with tempfile.NamedTemporaryFile("w", suffix=".json",
                                          delete=True) as handle:
@@ -62,7 +67,7 @@ def main() -> int:
     parser.add_argument("--repeats", type=int, default=5)
     args = parser.parse_args()
 
-    modes = ("null", "ring", "ring+chrome", "monitor")
+    modes = ("null", "ring", "ring+chrome", "monitor", "event")
     medians = {}
     for mode in modes:
         times = [one_run(args.requests, mode)

@@ -113,6 +113,39 @@ def _build_parser() -> argparse.ArgumentParser:
     monitor.add_argument("--max-windows", type=int, default=256,
                          help="series store capacity; beyond it adjacent "
                               "windows merge (downsampling)")
+
+    loadtest = sub.add_parser(
+        "loadtest", help="sweep open-loop arrival rate through the "
+                         "discrete-event engine to locate the "
+                         "saturation knee (throughput/latency curve, "
+                         "CSV + ASCII)")
+    loadtest.add_argument("--workload", default="sysbench",
+                          choices=sorted(_WORKLOADS))
+    loadtest.add_argument("--system", default="icash",
+                          choices=["fusion-io", "raid0", "dedup", "lru",
+                                   "icash"])
+    loadtest.add_argument("--requests", type=int, default=3000)
+    loadtest.add_argument("--points", type=int, default=6,
+                          help="sweep points between --span fractions "
+                               "of the calibrated capacity")
+    loadtest.add_argument("--span", type=float, nargs=2,
+                          default=None, metavar=("LO", "HI"),
+                          help="sweep span as fractions of capacity "
+                               "(default 0.3 1.6)")
+    loadtest.add_argument("--rates", type=float, nargs="+", default=None,
+                          help="explicit offered rates (requests/s); "
+                               "skips capacity calibration")
+    loadtest.add_argument("--distribution", default="poisson",
+                          choices=["poisson", "constant"],
+                          help="interarrival distribution")
+    loadtest.add_argument("--seed", type=int, default=1234,
+                          help="arrival-pattern seed (shared across "
+                               "sweep points)")
+    loadtest.add_argument("--csv", default=None,
+                          help="also write the curve as CSV rows")
+    loadtest.add_argument("--compare", action="store_true",
+                          help="instead of a sweep, compare every "
+                               "architecture at its own knee")
     return parser
 
 
@@ -325,6 +358,49 @@ def _cmd_monitor(workload_name: str, system_name: str, requests: int,
     return 0
 
 
+def _cmd_loadtest(workload_name: str, system_name: str, requests: int,
+                  points: int, span: Optional[List[float]],
+                  rates: Optional[List[float]], distribution: str,
+                  seed: int, csv_path: Optional[str],
+                  compare: bool) -> int:
+    from repro.experiments import loadtest
+
+    def workload_factory():
+        return _WORKLOADS[workload_name](n_requests=requests)
+
+    if compare:
+        print(f"comparing architectures at their saturation knees "
+              f"({workload_name}, {requests} requests/run)...")
+        reports = loadtest.compare_at_knee(
+            workload_factory, distribution=distribution, seed=seed,
+            progress=True)
+        print(loadtest.render_comparison(reports))
+        return 0
+
+    if rates is not None:
+        sweep = sorted(rates)
+        print(f"{workload_name} on {system_name}: sweeping "
+              f"{len(sweep)} explicit rates ({distribution} arrivals)")
+    else:
+        capacity = loadtest.calibrate_capacity(workload_factory,
+                                               system_name)
+        span_t = tuple(span) if span is not None \
+            else loadtest.DEFAULT_SPAN
+        sweep = loadtest.auto_rates(capacity, points, span=span_t)
+        print(f"{workload_name} on {system_name}: calibrated capacity "
+              f"{capacity:.0f} requests/s; sweeping {len(sweep)} rates "
+              f"across {span_t[0]:.1f}-{span_t[1]:.1f}x "
+              f"({distribution} arrivals)")
+    curve = loadtest.sweep_rates(workload_factory, system_name, sweep,
+                                 distribution=distribution, seed=seed)
+    print()
+    print(loadtest.render_curve(curve))
+    if csv_path is not None:
+        rows = loadtest.export_curve_csv(curve, csv_path)
+        print(f"\nwrote {rows} sweep rows to {csv_path}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "list":
@@ -348,6 +424,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "monitor":
         return _cmd_monitor(args.workload, args.system, args.requests,
                             args.interval, args.out_dir, args.max_windows)
+    if args.command == "loadtest":
+        return _cmd_loadtest(args.workload, args.system, args.requests,
+                             args.points, args.span, args.rates,
+                             args.distribution, args.seed, args.csv,
+                             args.compare)
     raise AssertionError(f"unhandled command {args.command}")
 
 

@@ -177,6 +177,12 @@ class ICASHController(StorageSystem):
             .set_fn(lambda: log.wrap_count)
         registry.counter("delta_log_appends_total") \
             .set_fn(lambda: log.blocks_written)
+        registry.counter("delta_log_corrupt_total") \
+            .set_fn(lambda: log.corrupt_blocks_total)
+        registry.counter("recovery_replays_total") \
+            .set_fn(lambda: log.replay_count)
+        registry.counter("recovery_records_total") \
+            .set_fn(lambda: log.replayed_records_total)
 
     def read(self, lba: int, nblocks: int = 1
              ) -> Tuple[float, List[np.ndarray]]:

@@ -153,6 +153,15 @@ class DeltaLog:
         self._packer = DeltaBlockPacker()
         #: Corrupted blocks the last replay skipped (set by replay()).
         self.corrupt_blocks_skipped = 0
+        #: Monotone total of every torn block ever detected — append
+        #: overwrites *and* replay skips.  ``corrupt_blocks_skipped``
+        #: resets per replay, so the metrics layer (which requires
+        #: monotone counters) reads this one instead.
+        self.corrupt_blocks_total = 0
+        #: Monotone replay-outcome counters: passes started and intact
+        #: records yielded, surfaced as ``recovery_*`` instruments.
+        self.replay_count = 0
+        self.replayed_records_total = 0
         #: Times the circular log wrapped back to slot 0.  Monotone over
         #: the log's life — compaction :meth:`reset` rewinds the write
         #: pointer but not this counter (a wrap happened; the metrics
@@ -196,6 +205,7 @@ class DeltaLog:
                 except ValueError:
                     # Overwriting a torn block loses nothing recoverable.
                     self.corrupt_blocks_skipped += 1
+                    self.corrupt_blocks_total += 1
             self._contents[slot] = block
             lbas.append(slot)
         # One physical write covers the whole run of appended blocks when
@@ -271,12 +281,14 @@ class DeltaLog:
         older durable state, which is the correct loss semantics.
         """
         self.corrupt_blocks_skipped = 0
+        self.replay_count += 1
         ordered = []
         for slot, blob in self._contents.items():
             try:
                 sequence = self._packer.sequence_of(blob)
             except ValueError:
                 self.corrupt_blocks_skipped += 1
+                self.corrupt_blocks_total += 1
                 continue
             ordered.append((sequence, slot))
         for _sequence, slot in sorted(ordered):
@@ -284,7 +296,9 @@ class DeltaLog:
                 records = self._packer.unpack(self._contents[slot])
             except ValueError:
                 self.corrupt_blocks_skipped += 1
+                self.corrupt_blocks_total += 1
                 continue
+            self.replayed_records_total += len(records)
             yield from records
 
     def corrupt_block(self, slot: int, nbytes: int = 64) -> None:

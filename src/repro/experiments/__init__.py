@@ -11,14 +11,28 @@
 * :mod:`repro.experiments.figures` — one function per figure/table.
 * :mod:`repro.experiments.report` — text rendering of
   measured-vs-paper tables.
+* :mod:`repro.experiments.loadtest` — open-loop arrival-rate sweeps
+  over the discrete-event engine: saturation knees, throughput/latency
+  curves, and the all-architectures knee comparison.
 """
 
+from repro.experiments.loadtest import (RatePoint, SystemKnee,
+                                        calibrate_capacity,
+                                        compare_at_knee, find_knee,
+                                        render_curve, sweep_rates)
 from repro.experiments.runner import RunResult, run_benchmark
 from repro.experiments.systems import SYSTEM_NAMES, make_system
 
 __all__ = [
+    "RatePoint",
     "RunResult",
     "SYSTEM_NAMES",
+    "SystemKnee",
+    "calibrate_capacity",
+    "compare_at_knee",
+    "find_knee",
     "make_system",
+    "render_curve",
     "run_benchmark",
+    "sweep_rates",
 ]

@@ -35,8 +35,14 @@ import numpy as np
 from repro.baselines.base import StorageSystem
 from repro.metrics.cpu import cpu_utilization
 from repro.metrics.energy import EnergyReport, measure_energy
+from repro.sim.engine import EngineConfig, EventEngine, QueueingSummary
+from repro.sim.load import default_closed_loop
+from repro.sim.metrics import SeriesStore, SLOBreach
 from repro.sim.stats import LatencyStats
 from repro.workloads.base import Workload
+
+#: The two wall-clock models ``run_benchmark`` accepts.
+ENGINES = ("legacy", "event")
 
 
 @dataclass
@@ -73,13 +79,18 @@ class RunResult:
     energy: EnergyReport
     counters: Dict[str, int] = field(default_factory=dict)
     verified_reads: int = 0
-    #: Windowed time series (a :class:`repro.sim.metrics.SeriesStore`)
-    #: when a :class:`repro.sim.metrics.Monitor` was attached; None for
-    #: plain runs.
-    series: Optional[object] = None
+    #: Windowed time series when a :class:`repro.sim.metrics.Monitor`
+    #: was attached; None for plain runs.
+    series: Optional[SeriesStore] = None
     #: SLO breaches the monitor's health rules flagged (empty without a
     #: monitor or when every window held).
-    slo_breaches: List = field(default_factory=list)
+    slo_breaches: List[SLOBreach] = field(default_factory=list)
+    #: Which wall-clock model produced this result ("legacy" or
+    #: "event").
+    engine: str = "legacy"
+    #: Per-station queueing behaviour of an ``engine="event"`` run
+    #: (waits, utilisations, depths); None under the legacy model.
+    queueing: Optional[QueueingSummary] = None
 
     @property
     def transactions_per_s(self) -> float:
@@ -135,7 +146,11 @@ def run_benchmark(workload: Workload, system: StorageSystem,
                   preload: bool = True,
                   flush_at_end: bool = True,
                   tracer=None,
-                  monitor=None) -> RunResult:
+                  monitor=None,
+                  engine: str = "legacy",
+                  load=None,
+                  engine_config: Optional[EngineConfig] = None
+                  ) -> RunResult:
     """Replay ``workload`` into ``system`` and measure the run.
 
     ``preload`` runs the architecture's data-set organisation pass
@@ -151,10 +166,32 @@ def run_benchmark(workload: Workload, system: StorageSystem,
     after ingest; its sampler runs on the aggregate device-busy-time
     clock (``io_time_all``, the same virtual timeline trace spans lie
     on) and its series and SLO breaches land in the returned result.
+
+    ``engine`` selects the wall-clock model.  The default ``"legacy"``
+    is the open-queue approximation documented above and stays
+    bit-identical run to run; ``"event"`` hands the stream to the
+    discrete-event queueing engine (:mod:`repro.sim.engine`), where a
+    ``load`` generator (:mod:`repro.sim.load`; default: a closed loop
+    matching the workload's ``io_concurrency`` and per-I/O think time)
+    times arrivals and per-request latency becomes ``queue_wait +
+    service``.  Under ``"event"`` the monitor samples on the event
+    clock and the result carries a :class:`QueueingSummary`.
     """
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; pick one of "
+                         f"{ENGINES}")
     if not 0.0 <= warmup_fraction < 1.0:
         raise ValueError(
             f"warmup_fraction must be in [0, 1), got {warmup_fraction}")
+    if engine == "event":
+        return _run_event_benchmark(
+            workload, system, verify_reads=verify_reads,
+            warmup_fraction=warmup_fraction, preload=preload,
+            flush_at_end=flush_at_end, tracer=tracer, monitor=monitor,
+            load=load, engine_config=engine_config)
+    if load is not None:
+        raise ValueError("load generators need engine='event'; the "
+                         "legacy model has no arrival timeline")
     if preload:
         system.ingest()
     if tracer is not None:
@@ -208,7 +245,7 @@ def run_benchmark(workload: Workload, system: StorageSystem,
         io_time_meas += flush_latency
     if monitor is not None:
         monitor.finish(io_time_all)
-    concurrency = max(1, getattr(workload, "io_concurrency", 1))
+    concurrency = max(1, workload.io_concurrency)
     bg_meas = system.background_time - bg_at_warmup
     cpu_meas = system.cpu_time - cpu_at_warmup
     n_transactions = max(1, n_measured // workload.ios_per_transaction)
@@ -232,7 +269,7 @@ def run_benchmark(workload: Workload, system: StorageSystem,
         full_wall_time_s=full_wall,
         io_time_s=io_time_meas,
         app_cpu_s=app_cpu,
-        app_cpu_busy_s=app_cpu * getattr(workload, "app_cpu_fraction", 1.0),
+        app_cpu_busy_s=app_cpu * workload.app_cpu_fraction,
         storage_cpu_s=cpu_meas,
         background_s=bg_meas,
         io_concurrency=concurrency,
@@ -244,13 +281,139 @@ def run_benchmark(workload: Workload, system: StorageSystem,
         ssd_write_blocks=system.ssd_write_blocks - ssd_write_blocks_base,
         energy=measure_energy(
             system, full_wall,
-            full_app_cpu * getattr(workload, "app_cpu_fraction", 1.0),
+            full_app_cpu * workload.app_cpu_fraction,
             storage_cpu_s=system.cpu_time - cpu_base),
         counters=system.stats.counters(),
         verified_reads=verified,
         series=monitor.store if monitor is not None else None,
         slo_breaches=list(monitor.breaches) if monitor is not None
         else [])
+
+
+def _run_event_benchmark(workload: Workload, system: StorageSystem,
+                         verify_reads: bool,
+                         warmup_fraction: float,
+                         preload: bool,
+                         flush_at_end: bool,
+                         tracer,
+                         monitor,
+                         load,
+                         engine_config: Optional[EngineConfig]
+                         ) -> RunResult:
+    """The ``engine="event"`` half of :func:`run_benchmark`.
+
+    Requests are still *processed* in stream order (so device state,
+    block contents and service times match a legacy replay exactly);
+    the event engine re-times them on an arrival/queue/service
+    timeline.  Wall-clock is event time over the measurement window,
+    ``io_time_s`` is the sum of response times (wait + service), and
+    warmup is cut by admission index exactly like the legacy path.
+    """
+    if preload:
+        system.ingest()
+    if monitor is not None:
+        monitor.attach(system, workload)
+    if load is None:
+        load = default_closed_loop(workload)
+    sim = EventEngine(system, config=engine_config,
+                      downstream_tracer=tracer)
+    if monitor is not None:
+        sim.register_metrics(monitor.registry)
+    cpu_base = system.cpu_time
+    ssd_writes_base = system.ssd_write_ops
+    ssd_write_blocks_base = system.ssd_write_blocks
+    n_total = getattr(workload, "n_requests", None)
+    warmup_cutoff = int(n_total * warmup_fraction) if n_total else 0
+    warmup_state = {"cpu": 0.0, "bg": 0.0}
+
+    def on_admit(index: int) -> None:
+        if index == warmup_cutoff:
+            warmup_state["cpu"] = system.cpu_time
+            warmup_state["bg"] = system.background_time
+
+    def on_complete(record) -> None:
+        if monitor is not None:
+            monitor.on_request(record.is_read, record.latency_s,
+                               sim.now)
+
+    records = sim.run(workload, load, verify_reads=verify_reads,
+                      on_admit=on_admit, on_complete=on_complete)
+    queueing = sim.summary()
+    # Two clocks: ``t_full`` runs until the heap drains (deferred
+    # background included); the throughput window closes at the last
+    # request completion — trailing background is off the critical
+    # path, exactly as the legacy model treats it.
+    t_full = sim.t_end
+    t_last = sim.last_completion_s
+    read_lat = LatencyStats()
+    write_lat = LatencyStats()
+    io_time_all = 0.0
+    io_time_meas = 0.0
+    n_measured = 0
+    verified = 0
+    for record in records:
+        io_time_all += record.latency_s
+        verified += record.verified
+        if record.index >= warmup_cutoff:
+            io_time_meas += record.latency_s
+            n_measured += 1
+            if record.is_read:
+                read_lat.record(record.latency_s)
+            else:
+                write_lat.record(record.latency_s)
+    if flush_at_end:
+        flush_latency = system.flush()
+        io_time_all += flush_latency
+        io_time_meas += flush_latency
+        t_full += flush_latency
+        t_last += flush_latency
+    if monitor is not None:
+        monitor.finish(t_full)
+    # The measurement window opens when the first measured request
+    # arrives and closes when the last completion (plus any final
+    # flush) lands on the event clock.
+    if len(records) > warmup_cutoff:
+        t_meas_start = records[warmup_cutoff].arrival_s
+    else:
+        t_meas_start = t_last
+    wall = t_last - t_meas_start
+    bg_meas = system.background_time - warmup_state["bg"]
+    cpu_meas = system.cpu_time - warmup_state["cpu"]
+    n_transactions = max(1, n_measured // workload.ios_per_transaction)
+    app_cpu = n_transactions * workload.app_compute_per_tx
+    full_tx = max(1, len(records) // workload.ios_per_transaction)
+    full_app_cpu = full_tx * workload.app_compute_per_tx
+    return RunResult(
+        workload=workload.name,
+        system=system.name,
+        n_requests=len(records),
+        n_measured=n_measured,
+        n_transactions=n_transactions,
+        wall_time_s=wall,
+        full_wall_time_s=t_full,
+        io_time_s=io_time_meas,
+        app_cpu_s=app_cpu,
+        app_cpu_busy_s=app_cpu * workload.app_cpu_fraction,
+        storage_cpu_s=cpu_meas,
+        background_s=bg_meas,
+        io_concurrency=workload.io_concurrency,
+        read_mean_us=read_lat.mean_us,
+        write_mean_us=write_lat.mean_us,
+        read_p99_us=read_lat.percentile(99) * 1e6,
+        write_p99_us=write_lat.percentile(99) * 1e6,
+        ssd_write_ops=system.ssd_write_ops - ssd_writes_base,
+        ssd_write_blocks=system.ssd_write_blocks - ssd_write_blocks_base,
+        energy=measure_energy(
+            system, t_full,
+            full_app_cpu * workload.app_cpu_fraction,
+            storage_cpu_s=system.cpu_time - cpu_base),
+        counters=system.stats.counters(),
+        verified_reads=verified,
+        series=monitor.store if monitor is not None else None,
+        slo_breaches=list(monitor.breaches) if monitor is not None
+        else [],
+        engine="event",
+        queueing=queueing)
 
 
 def run_grid(workload_factory, system_names,

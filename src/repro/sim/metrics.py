@@ -150,6 +150,24 @@ INSTRUMENT_CATALOGUE: Dict[str, InstrumentSpec] = {
         "counter", "wraps", "times the circular log wrapped around"),
     "delta_log_appends_total": InstrumentSpec(
         "counter", "blocks", "delta blocks ever appended to the log"),
+    "delta_log_corrupt_total": InstrumentSpec(
+        "counter", "blocks", "torn/corrupted log blocks detected and "
+                             "skipped (append overwrites + replays)"),
+    # recovery
+    "recovery_replays_total": InstrumentSpec(
+        "counter", "replays", "delta-log replay passes performed"),
+    "recovery_records_total": InstrumentSpec(
+        "counter", "records", "delta records yielded by replay passes"),
+    # event-engine queueing (engine="event" runs only)
+    "queue_depth": InstrumentSpec(
+        "gauge", "requests", "requests waiting or in service at a "
+                             "device station (`device` label)"),
+    "queue_wait_us": InstrumentSpec(
+        "histogram", "us", "per-request time spent waiting in device "
+                           "queues (event engine)"),
+    "device_utilization": InstrumentSpec(
+        "gauge", "ratio", "station busy time / elapsed event time "
+                          "(`device` label)"),
 }
 
 _KINDS = ("counter", "gauge", "histogram")

@@ -49,6 +49,7 @@ EVENT_TYPES = frozenset({
     # request lifecycle
     "request_start",
     "cache_lookup",
+    "queue",
     # device operations (named {device}_{operation})
     "dram_access",
     "ssd_read",
