@@ -13,7 +13,11 @@ Runs the same SysBench replay on the I-CASH element five ways:
   periodic sampler, per-request latency histograms; no tracer),
 * ``event`` — the discrete-event queueing engine
   (``run_benchmark(engine="event")``: capture tracer, per-device
-  stations, event heap) against the same legacy ``null`` baseline.
+  stations, event heap) against the same legacy ``null`` baseline,
+* ``profile`` — the event engine with a recording ``Profiler``
+  (per-request ``(device, phase)`` attribution); compare against
+  ``event`` for the profiler's own cost, and note that ``null`` (the
+  ``NULL_PROFILER`` default) is the profiler-disabled case.
 
 Prints median wall-clock over ``--repeats`` runs and the overhead of
 each mode relative to ``null``.  The numbers quoted in the tracer and
@@ -37,6 +41,7 @@ sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 from repro.experiments.runner import run_benchmark  # noqa: E402
 from repro.experiments.systems import make_system  # noqa: E402
 from repro.sim.metrics import Monitor  # noqa: E402
+from repro.sim.profile import Profiler  # noqa: E402
 from repro.sim.trace import (RingBufferTracer,  # noqa: E402
                              export_chrome_trace)
 from repro.workloads import SysBenchWorkload  # noqa: E402
@@ -47,10 +52,11 @@ def one_run(n_requests: int, mode: str) -> float:
     system = make_system("icash", workload)
     tracer = RingBufferTracer() if mode.startswith("ring") else None
     monitor = Monitor(interval_s=0.01) if mode == "monitor" else None
-    engine = "event" if mode == "event" else "legacy"
+    profiler = Profiler() if mode == "profile" else None
+    engine = "event" if mode in ("event", "profile") else "legacy"
     started = time.perf_counter()
     run_benchmark(workload, system, tracer=tracer, monitor=monitor,
-                  engine=engine)
+                  engine=engine, profiler=profiler)
     if mode == "ring+chrome":
         with tempfile.NamedTemporaryFile("w", suffix=".json",
                                          delete=True) as handle:
@@ -67,7 +73,8 @@ def main() -> int:
     parser.add_argument("--repeats", type=int, default=5)
     args = parser.parse_args()
 
-    modes = ("null", "ring", "ring+chrome", "monitor", "event")
+    modes = ("null", "ring", "ring+chrome", "monitor", "event",
+             "profile")
     medians = {}
     for mode in modes:
         times = [one_run(args.requests, mode)

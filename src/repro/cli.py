@@ -146,6 +146,53 @@ def _build_parser() -> argparse.ArgumentParser:
     loadtest.add_argument("--compare", action="store_true",
                           help="instead of a sweep, compare every "
                                "architecture at its own knee")
+
+    critpath = sub.add_parser(
+        "critpath", help="run one workload under the simulated-time "
+                         "profiler and print the critical-path "
+                         "attribution table with a blame summary "
+                         "(see docs/OBSERVABILITY.md)")
+    critpath.add_argument("--workload", default="sysbench",
+                          choices=sorted(_WORKLOADS))
+    critpath.add_argument("--system", default="icash",
+                          choices=["fusion-io", "raid0", "dedup", "lru",
+                                   "icash"])
+    critpath.add_argument("--requests", type=int, default=3000)
+    critpath.add_argument("--engine", default="event",
+                          choices=["legacy", "event"],
+                          help="wall-clock model; 'event' includes "
+                               "per-station queue waits")
+    critpath.add_argument("--rate", type=float, default=None,
+                          help="open-loop arrival rate (requests/s); "
+                               "default is the workload's closed loop. "
+                               "Only meaningful with --engine event")
+    critpath.add_argument("--seed", type=int, default=1234,
+                          help="arrival-pattern seed for --rate")
+    critpath.add_argument("--folded", default=None, metavar="PATH",
+                          help="also write folded flame stacks "
+                               "('op;device;phase count_us' lines) for "
+                               "flamegraph tooling")
+
+    bench = sub.add_parser(
+        "bench", help="run the canonical benchmark suite, write a "
+                      "schema-versioned BENCH_<n>.json and optionally "
+                      "compare against a baseline "
+                      "(see docs/OBSERVABILITY.md)")
+    bench.add_argument("--quick", action="store_true",
+                       help="smoke suite (SysBench x both engines) "
+                            "instead of the full per-family suite")
+    bench.add_argument("--out-dir", default=".",
+                       help="directory receiving the next free "
+                            "BENCH_<n>.json")
+    bench.add_argument("--compare", default=None, metavar="BASELINE",
+                       help="compare the fresh run against this "
+                            "BENCH_*.json; exit 1 on regression")
+    bench.add_argument("--against", default=None, metavar="CURRENT",
+                       help="with --compare: skip running; compare "
+                            "CURRENT against BASELINE instead")
+    bench.add_argument("--verbose", action="store_true",
+                       help="show every compared metric, not just "
+                            "regressions")
     return parser
 
 
@@ -284,10 +331,10 @@ def _cmd_trace(workload_name: str, system_name: str, requests: int,
     tracer = RingBufferTracer(capacity_events=buffer_events)
     run_benchmark(workload, system, tracer=tracer)
     if out.endswith(".jsonl"):
-        written = export_jsonl(tracer.events, out)
+        written = export_jsonl(tracer.events, out, tracer=tracer)
         kind = "JSONL"
     else:
-        written = export_chrome_trace(tracer.events, out)
+        written = export_chrome_trace(tracer.events, out, tracer=tracer)
         kind = "Chrome trace_event; open in chrome://tracing or " \
                "https://ui.perfetto.dev"
     print(f"{workload_name} on {system_name}: wrote {written} events "
@@ -401,6 +448,84 @@ def _cmd_loadtest(workload_name: str, system_name: str, requests: int,
     return 0
 
 
+def _cmd_critpath(workload_name: str, system_name: str, requests: int,
+                  engine: str, rate: Optional[float], seed: int,
+                  folded: Optional[str]) -> int:
+    from repro.experiments.runner import run_benchmark
+    from repro.experiments.systems import make_system
+    from repro.sim.load import OpenLoopLoad
+    from repro.sim.profile import Profiler, export_folded
+    from repro.sim.trace import RingBufferTracer
+
+    workload = _WORKLOADS[workload_name](n_requests=requests)
+    system = make_system(system_name, workload)
+    profiler = Profiler()
+    load = OpenLoopLoad(rate, seed=seed) if rate is not None else None
+    tracer = RingBufferTracer() if folded is not None else None
+    result = run_benchmark(workload, system, engine=engine, load=load,
+                           profiler=profiler, tracer=tracer)
+    table = profiler.table
+    loaded = f" at {rate:.0f} req/s" if rate is not None else ""
+    print(f"{workload_name} on {system_name} ({engine} engine{loaded}), "
+          f"{table.latency('read').count + table.latency('write').count} "
+          f"measured requests:")
+    print()
+    print(table.render())
+    # Cross-check attribution against the independent latency
+    # statistics: per-request (device, phase) sums must reproduce the
+    # run's measured per-class means exactly (docs/OBSERVABILITY.md).
+    checks = (("read", result.read_mean_us),
+              ("write", result.write_mean_us))
+    print()
+    consistent = True
+    for op, stats_mean in checks:
+        table_mean = table.mean_us(op)
+        ok = abs(table_mean - stats_mean) <= 1e-6 * max(1.0, stats_mean)
+        consistent = consistent and ok
+        print(f"consistency: attribution {op} mean {table_mean:.2f} us "
+              f"vs run {op} mean {stats_mean:.2f} us "
+              f"[{'ok' if ok else 'MISMATCH'}]")
+    if folded is not None:
+        lines = export_folded(tracer.events, folded)
+        print(f"\nwrote {lines} folded stacks to {folded} "
+              f"(flamegraph.pl / speedscope 'folded' format)")
+        if tracer.dropped:
+            print(f"warning: ring buffer dropped {tracer.dropped} "
+                  f"events; folded stacks cover the surviving tail",
+                  file=sys.stderr)
+    return 0 if consistent else 1
+
+
+def _cmd_bench(quick: bool, out_dir: str, compare_path: Optional[str],
+               against: Optional[str], verbose: bool) -> int:
+    from repro.experiments import bench
+
+    if against is not None and compare_path is None:
+        print("--against requires --compare BASELINE", file=sys.stderr)
+        return 2
+
+    if against is not None:
+        current = bench.load_bench(against)
+        print(f"comparing {against} against {compare_path}")
+    else:
+        suite = "quick" if quick else "full"
+        print(f"running {suite} suite...")
+        current = bench.run_suite(
+            quick=quick,
+            progress=lambda case: print(f"  {case.case}"))
+        path = bench.write_bench(current, out_dir)
+        print(f"wrote {path} (schema v{current['schema_version']}, "
+              f"{len(current['cases'])} cases)")
+
+    if compare_path is None:
+        return 0
+    baseline = bench.load_bench(compare_path)
+    deltas = bench.compare(baseline, current)
+    print()
+    print(bench.render_compare(deltas, verbose=verbose))
+    return 1 if bench.regressions(deltas) else 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "list":
@@ -429,6 +554,13 @@ def main(argv: Optional[List[str]] = None) -> int:
                              args.points, args.span, args.rates,
                              args.distribution, args.seed, args.csv,
                              args.compare)
+    if args.command == "critpath":
+        return _cmd_critpath(args.workload, args.system, args.requests,
+                             args.engine, args.rate, args.seed,
+                             args.folded)
+    if args.command == "bench":
+        return _cmd_bench(args.quick, args.out_dir, args.compare,
+                          args.against, args.verbose)
     raise AssertionError(f"unhandled command {args.command}")
 
 

@@ -1,0 +1,261 @@
+"""Benchmark regression harness (``repro bench``).
+
+Runs a canonical suite — one figure workload per benchmark family at
+fixed seeds, under both wall-clock engines — and emits a
+schema-versioned ``BENCH_<n>.json`` snapshot of everything a PR could
+regress: throughput, latency percentiles, SSD-write counts and the
+critical-path attribution table from :mod:`repro.sim.profile`.
+
+Because the simulation runs on a deterministic virtual clock, the
+snapshots are machine independent: the same tree produces the same
+numbers on a laptop and in CI.  ``compare`` therefore treats any
+out-of-tolerance delta against a committed baseline as a real change
+in modelled behaviour, not measurement noise.  Tolerances are still
+noise-aware — a PR that legitimately perturbs request interleaving
+(e.g. a new background quantum) shifts latency means by a little, so
+each latency tolerance is ``max(rel_tol x baseline, z x sem)`` with the
+standard error taken from the baseline's recorded sample variance
+(:attr:`repro.sim.stats.LatencyStats.std`).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.experiments.runner import RunResult, run_benchmark
+from repro.experiments.systems import make_system
+from repro.sim.profile import Profiler
+from repro.workloads import ALL_WORKLOADS
+
+#: Version of the ``BENCH_<n>.json`` layout (documented in
+#: docs/OBSERVABILITY.md, doc-parity tested).  Bump on any breaking
+#: change to the keys below.
+BENCH_SCHEMA_VERSION = 1
+
+_WORKLOADS = {cls.name: cls for cls in ALL_WORKLOADS}
+
+
+@dataclass(frozen=True)
+class BenchCase:
+    """One deterministic suite entry."""
+
+    case: str
+    workload: str
+    system: str
+    engine: str
+    seed: int
+    n_requests: int
+    scale: float = 1.0
+
+
+def _cases(workloads: Iterable[str], engines: Iterable[str],
+           system: str, seed: int, n_requests: int,
+           scale: float) -> Tuple[BenchCase, ...]:
+    return tuple(
+        BenchCase(case=f"{wl}-{system}-{engine}", workload=wl,
+                  system=system, engine=engine, seed=seed,
+                  n_requests=n_requests, scale=scale)
+        for wl in workloads for engine in engines)
+
+
+#: Smoke suite for every push: the paper's headline workload (SysBench,
+#: Figures 6-8) on I-CASH under both engines.
+QUICK_SUITE: Tuple[BenchCase, ...] = _cases(
+    ("sysbench",), ("legacy", "event"), system="icash", seed=2011,
+    n_requests=600, scale=0.5)
+
+#: Full suite: one workload per benchmark family (Table 4) x both
+#: engines, all on I-CASH at the paper's seed.
+FULL_SUITE: Tuple[BenchCase, ...] = _cases(
+    ("sysbench", "hadoop", "tpcc", "loadsim", "specsfs", "rubis"),
+    ("legacy", "event"), system="icash", seed=2011, n_requests=1200,
+    scale=0.5)
+
+#: Regression policy per metric: (direction, relative tolerance,
+#: key of the noise entry sizing the statistical tolerance, or None).
+#: ``direction`` is the *good* direction — "higher" for throughput,
+#: "lower" for latency and wear.
+METRIC_POLICY: Dict[str, Tuple[str, float, Optional[str]]] = {
+    "transactions_per_s": ("higher", 0.05, None),
+    "requests_per_s": ("higher", 0.05, None),
+    "read_mean_us": ("lower", 0.05, "read"),
+    "read_p99_us": ("lower", 0.10, "read"),
+    "write_mean_us": ("lower", 0.05, "write"),
+    "write_p99_us": ("lower", 0.10, "write"),
+    "ssd_write_ops": ("lower", 0.02, None),
+    "ssd_write_blocks": ("lower", 0.02, None),
+}
+
+#: z-score for the noise-aware part of a latency tolerance.
+NOISE_Z = 3.0
+
+
+def run_case(case: BenchCase) -> RunResult:
+    """Run one suite entry with the profiler attached."""
+    cls = _WORKLOADS[case.workload]
+    workload = cls(scale=case.scale, n_requests=case.n_requests,
+                   seed=case.seed)
+    system = make_system(case.system, workload)
+    return run_benchmark(workload, system, engine=case.engine,
+                         profiler=Profiler())
+
+
+def case_record(case: BenchCase, result: RunResult) -> Dict[str, object]:
+    """The JSON-ready snapshot of one case (see docs/OBSERVABILITY.md)."""
+    metrics = {name: getattr(result, name) for name in METRIC_POLICY}
+    noise: Dict[str, Dict[str, float]] = {}
+    table = result.attribution
+    if table is not None:
+        for op in table.ops:
+            stats = table.latency(op)
+            noise[op] = {"std_us": stats.std_us, "n": stats.count}
+    return {
+        "case": case.case,
+        "workload": case.workload,
+        "system": case.system,
+        "engine": case.engine,
+        "seed": case.seed,
+        "n_requests": case.n_requests,
+        "scale": case.scale,
+        "n_measured": result.n_measured,
+        "metrics": metrics,
+        "noise": noise,
+        "attribution": table.to_rows() if table is not None else [],
+    }
+
+
+def run_suite(quick: bool = False,
+              progress=None) -> Dict[str, object]:
+    """Run the suite and return the full ``BENCH`` document."""
+    suite = QUICK_SUITE if quick else FULL_SUITE
+    cases: List[Dict[str, object]] = []
+    for case in suite:
+        if progress is not None:
+            progress(case)
+        cases.append(case_record(case, run_case(case)))
+    return {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "suite": "quick" if quick else "full",
+        "cases": cases,
+    }
+
+
+def next_bench_path(out_dir: str) -> str:
+    """First free ``BENCH_<n>.json`` in ``out_dir``, counting from 1."""
+    n = 1
+    while os.path.exists(os.path.join(out_dir, f"BENCH_{n}.json")):
+        n += 1
+    return os.path.join(out_dir, f"BENCH_{n}.json")
+
+
+def write_bench(document: Dict[str, object], out_dir: str = ".") -> str:
+    """Write the document to the next free ``BENCH_<n>.json``."""
+    os.makedirs(out_dir, exist_ok=True)
+    path = next_bench_path(out_dir)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load_bench(path: str) -> Dict[str, object]:
+    """Read a ``BENCH_<n>.json``, validating the schema version."""
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    version = document.get("schema_version")
+    if version != BENCH_SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: bench schema {version!r} unsupported "
+            f"(expected {BENCH_SCHEMA_VERSION})")
+    return document
+
+
+@dataclass(frozen=True)
+class Delta:
+    """One metric compared across two bench documents."""
+
+    case: str
+    metric: str
+    baseline: float
+    current: float
+    tolerance: float
+    #: Positive when the current value moved in the *bad* direction.
+    worsening: float
+
+    @property
+    def regressed(self) -> bool:
+        return self.worsening > self.tolerance
+
+    def render(self) -> str:
+        flag = "REGRESSION" if self.regressed else "ok"
+        return (f"{self.case:<28} {self.metric:<20} "
+                f"{self.baseline:>12.3f} -> {self.current:>12.3f} "
+                f"(tol {self.tolerance:.3f})  {flag}")
+
+
+def _tolerance(metric: str, base_value: float,
+               noise: Dict[str, Dict[str, float]]) -> float:
+    direction, rel_tol, noise_key = METRIC_POLICY[metric]
+    tol = rel_tol * abs(base_value)
+    if noise_key and noise_key in noise:
+        entry = noise[noise_key]
+        n = max(1.0, float(entry.get("n", 1.0)))
+        sem = float(entry.get("std_us", 0.0)) / math.sqrt(n)
+        tol = max(tol, NOISE_Z * sem)
+    return tol
+
+
+def compare(baseline: Dict[str, object],
+            current: Dict[str, object]) -> List[Delta]:
+    """Compare two bench documents case by case.
+
+    Cases present in only one document are skipped (suites may grow);
+    within a shared case every metric in :data:`METRIC_POLICY` is
+    checked in its good direction against the noise-aware tolerance.
+    """
+    base_cases = {c["case"]: c for c in baseline["cases"]}
+    deltas: List[Delta] = []
+    for record in current["cases"]:
+        base = base_cases.get(record["case"])
+        if base is None:
+            continue
+        base_metrics = base["metrics"]
+        cur_metrics = record["metrics"]
+        base_noise = base.get("noise", {})
+        for metric, (direction, _rel, _noise) in METRIC_POLICY.items():
+            if metric not in base_metrics or metric not in cur_metrics:
+                continue
+            b = float(base_metrics[metric])
+            c = float(cur_metrics[metric])
+            worsening = (b - c) if direction == "higher" else (c - b)
+            deltas.append(Delta(
+                case=record["case"], metric=metric, baseline=b,
+                current=c,
+                tolerance=_tolerance(metric, b, base_noise),
+                worsening=worsening))
+    return deltas
+
+
+def regressions(deltas: Iterable[Delta]) -> List[Delta]:
+    return [d for d in deltas if d.regressed]
+
+
+def render_compare(deltas: List[Delta],
+                   verbose: bool = False) -> str:
+    """Human-readable comparison report."""
+    bad = regressions(deltas)
+    lines: List[str] = []
+    shown = deltas if verbose else bad
+    if shown:
+        header = (f"{'case':<28} {'metric':<20} "
+                  f"{'baseline':>12}    {'current':>12}")
+        lines.append(header)
+        lines.append("-" * len(header))
+        lines.extend(d.render() for d in shown)
+    lines.append(f"{len(deltas)} metrics compared, "
+                 f"{len(bad)} regression(s)")
+    return "\n".join(lines)

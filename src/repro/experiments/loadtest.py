@@ -25,7 +25,7 @@ I-CASH and every baseline side by side at their own saturation points.
 from __future__ import annotations
 
 import sys
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, TextIO, Tuple, Union
 
 from repro.experiments.runner import RunResult, run_benchmark
@@ -53,6 +53,11 @@ class RatePoint:
     #: Highest-utilisation station and its utilisation at this rate.
     bottleneck: Optional[str]
     bottleneck_util: float
+    #: Per-station busy fraction and time-averaged queue depth from the
+    #: run's :class:`~repro.sim.engine.QueueingSummary`, keyed by
+    #: station (device) name.  Empty for hand-built points.
+    station_util: Dict[str, float] = field(default_factory=dict)
+    station_depth: Dict[str, float] = field(default_factory=dict)
 
     @property
     def efficiency(self) -> float:
@@ -91,7 +96,11 @@ def run_rate_point(workload_factory, system_name: str, rate_rps: float,
         bottleneck=queueing.bottleneck,
         bottleneck_util=(queueing.stations[queueing.bottleneck]
                          .utilization
-                         if queueing.bottleneck else 0.0))
+                         if queueing.bottleneck else 0.0),
+        station_util={name: s.utilization
+                      for name, s in queueing.stations.items()},
+        station_depth={name: s.mean_depth
+                       for name, s in queueing.stations.items()})
     return point, result
 
 
@@ -191,18 +200,33 @@ def render_curve(points: Sequence[RatePoint],
 
 def export_curve_csv(points: Sequence[RatePoint],
                      destination: Union[str, TextIO]) -> int:
-    """Write the sweep as CSV rows; returns the row count."""
+    """Write the sweep as CSV rows; returns the row count.
+
+    Beyond the fixed columns, every station any point saw contributes a
+    ``util_<station>`` (busy fraction) and ``depth_<station>`` (mean
+    queue depth) column, so the file carries the full per-device
+    queueing picture for offline analysis — no re-run needed to ask
+    "what was the HDD doing at the knee".
+    """
+    stations = sorted({name for p in points for name in p.station_util})
+    extra = [f"util_{name}" for name in stations] \
+        + [f"depth_{name}" for name in stations]
     header = ("offered_rps,achieved_rps,n_measured,mean_ms,p99_ms,"
-              "wait_mean_ms,bottleneck,bottleneck_util\n")
+              "wait_mean_ms,bottleneck,bottleneck_util"
+              + "".join("," + column for column in extra) + "\n")
 
     def _write(handle: TextIO) -> int:
         handle.write(header)
         for p in points:
-            handle.write(
-                f"{p.offered_rps:.3f},{p.achieved_rps:.3f},"
-                f"{p.n_measured},{p.mean_ms:.6f},{p.p99_ms:.6f},"
-                f"{p.wait_mean_ms:.6f},{p.bottleneck or ''},"
-                f"{p.bottleneck_util:.6f}\n")
+            cells = [f"{p.offered_rps:.3f}", f"{p.achieved_rps:.3f}",
+                     f"{p.n_measured}", f"{p.mean_ms:.6f}",
+                     f"{p.p99_ms:.6f}", f"{p.wait_mean_ms:.6f}",
+                     p.bottleneck or "", f"{p.bottleneck_util:.6f}"]
+            cells += [f"{p.station_util.get(name, 0.0):.6f}"
+                      for name in stations]
+            cells += [f"{p.station_depth.get(name, 0.0):.6f}"
+                      for name in stations]
+            handle.write(",".join(cells) + "\n")
         return len(points)
 
     if isinstance(destination, str):

@@ -35,8 +35,11 @@ import numpy as np
 from repro.baselines.base import StorageSystem
 from repro.metrics.cpu import cpu_utilization
 from repro.metrics.energy import EnergyReport, measure_energy
-from repro.sim.engine import EngineConfig, EventEngine, QueueingSummary
+from repro.sim.engine import (EngineConfig, EventEngine,
+                              QueueingSummary, _CaptureTracer,
+                              service_items)
 from repro.sim.load import default_closed_loop
+from repro.sim.profile import AttributionTable
 from repro.sim.metrics import SeriesStore, SLOBreach
 from repro.sim.stats import LatencyStats
 from repro.workloads.base import Workload
@@ -91,6 +94,11 @@ class RunResult:
     #: Per-station queueing behaviour of an ``engine="event"`` run
     #: (waits, utilisations, depths); None under the legacy model.
     queueing: Optional[QueueingSummary] = None
+    #: Critical-path attribution when a
+    #: :class:`repro.sim.profile.Profiler` was attached; None for
+    #: plain runs.  Covers the post-warmup measurement window, same as
+    #: the latency statistics.
+    attribution: Optional[AttributionTable] = None
 
     @property
     def transactions_per_s(self) -> float:
@@ -149,7 +157,8 @@ def run_benchmark(workload: Workload, system: StorageSystem,
                   monitor=None,
                   engine: str = "legacy",
                   load=None,
-                  engine_config: Optional[EngineConfig] = None
+                  engine_config: Optional[EngineConfig] = None,
+                  profiler=None
                   ) -> RunResult:
     """Replay ``workload`` into ``system`` and measure the run.
 
@@ -176,6 +185,13 @@ def run_benchmark(workload: Workload, system: StorageSystem,
     times arrivals and per-request latency becomes ``queue_wait +
     service``.  Under ``"event"`` the monitor samples on the event
     clock and the result carries a :class:`QueueingSummary`.
+
+    ``profiler`` (a :class:`repro.sim.profile.Profiler`) attributes
+    each measured request's end-to-end latency to ``(device, phase)``
+    pairs; its table lands in ``RunResult.attribution``.  Under the
+    event engine the attribution includes exact per-station queue
+    waits; under the legacy model it covers the service phases (queues
+    do not exist there).
     """
     if engine not in ENGINES:
         raise ValueError(f"unknown engine {engine!r}; pick one of "
@@ -188,13 +204,20 @@ def run_benchmark(workload: Workload, system: StorageSystem,
             workload, system, verify_reads=verify_reads,
             warmup_fraction=warmup_fraction, preload=preload,
             flush_at_end=flush_at_end, tracer=tracer, monitor=monitor,
-            load=load, engine_config=engine_config)
+            load=load, engine_config=engine_config, profiler=profiler)
     if load is not None:
         raise ValueError("load generators need engine='event'; the "
                          "legacy model has no arrival timeline")
     if preload:
         system.ingest()
-    if tracer is not None:
+    capture = None
+    if profiler is not None and profiler.enabled:
+        # Interpose the engine's capture tracer so each request's
+        # service phases can be harvested for attribution; recorded
+        # spans still reach the caller's tracer via replay.
+        capture = _CaptureTracer(tracer)
+        system.set_tracer(capture)
+    elif tracer is not None:
         system.set_tracer(tracer)
     if monitor is not None:
         monitor.attach(system, workload)
@@ -228,6 +251,13 @@ def run_benchmark(workload: Workload, system: StorageSystem,
                 verified += 1
         else:
             latency = system.process(request)
+        if capture is not None:
+            creq, entries, _bg = capture.take_request()
+            if n_requests >= warmup_cutoff:
+                profiler.record_request(creq[0],
+                                        service_items(entries),
+                                        latency)
+            capture.replay(creq, entries, 0.0, latency)
         io_time_all += latency
         if monitor is not None:
             monitor.on_request(request.is_read, latency, io_time_all)
@@ -287,7 +317,8 @@ def run_benchmark(workload: Workload, system: StorageSystem,
         verified_reads=verified,
         series=monitor.store if monitor is not None else None,
         slo_breaches=list(monitor.breaches) if monitor is not None
-        else [])
+        else [],
+        attribution=profiler.table if profiler is not None else None)
 
 
 def _run_event_benchmark(workload: Workload, system: StorageSystem,
@@ -298,7 +329,8 @@ def _run_event_benchmark(workload: Workload, system: StorageSystem,
                          tracer,
                          monitor,
                          load,
-                         engine_config: Optional[EngineConfig]
+                         engine_config: Optional[EngineConfig],
+                         profiler=None
                          ) -> RunResult:
     """The ``engine="event"`` half of :func:`run_benchmark`.
 
@@ -316,7 +348,7 @@ def _run_event_benchmark(workload: Workload, system: StorageSystem,
     if load is None:
         load = default_closed_loop(workload)
     sim = EventEngine(system, config=engine_config,
-                      downstream_tracer=tracer)
+                      downstream_tracer=tracer, profiler=profiler)
     if monitor is not None:
         sim.register_metrics(monitor.registry)
     cpu_base = system.cpu_time
@@ -337,7 +369,8 @@ def _run_event_benchmark(workload: Workload, system: StorageSystem,
                                sim.now)
 
     records = sim.run(workload, load, verify_reads=verify_reads,
-                      on_admit=on_admit, on_complete=on_complete)
+                      on_admit=on_admit, on_complete=on_complete,
+                      profile_from=warmup_cutoff)
     queueing = sim.summary()
     # Two clocks: ``t_full`` runs until the heap drains (deferred
     # background included); the throughput window closes at the last
@@ -413,7 +446,8 @@ def _run_event_benchmark(workload: Workload, system: StorageSystem,
         slo_breaches=list(monitor.breaches) if monitor is not None
         else [],
         engine="event",
-        queueing=queueing)
+        queueing=queueing,
+        attribution=profiler.table if profiler is not None else None)
 
 
 def run_grid(workload_factory, system_names,

@@ -49,6 +49,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.sim.profile import NULL_PROFILER, classify_phase
 from repro.sim.stats import LatencyStats
 
 #: Default service-slot counts (NCQ depth) per device trace name.
@@ -395,18 +396,38 @@ class _Job:
     """One in-flight request routing through its station phases."""
 
     __slots__ = ("record", "req", "phases", "phase_idx", "residual",
-                 "entries")
+                 "entries", "waits")
 
     def __init__(self, record: RequestRecord,
                  req: Tuple[str, int, int],
                  phases: List[Tuple[str, float]], residual: float,
-                 entries: Optional[List[_Span]]) -> None:
+                 entries: Optional[List[_Span]],
+                 waits: Optional[List[Tuple[str, float]]] = None) -> None:
         self.record = record
         self.req = req
         self.phases = phases
         self.phase_idx = 0
         self.residual = residual
         self.entries = entries
+        #: Per-station queue waits ``(device, seconds)`` — collected
+        #: only when a profiler is attached (None otherwise).
+        self.waits = waits
+
+
+def service_items(entries: List[_Span]) -> List[Tuple[str, str, float]]:
+    """A captured request's service spans as ``(device, phase, dur)``
+    attribution items (marks and instants excluded — their time is
+    zero or already inside another span's duration)."""
+    items = []
+    for entry in entries:
+        if entry.dur <= 0.0 or entry.kind == "mark":
+            continue
+        if entry.kind == "device":
+            items.append(classify_phase(entry.name, device=entry.device)
+                         + (entry.dur,))
+        else:
+            items.append(classify_phase(entry.name) + (entry.dur,))
+    return items
 
 
 _ARRIVAL = "arrival"
@@ -429,10 +450,17 @@ class EventEngine:
 
     def __init__(self, system, config: Optional[EngineConfig] = None,
                  downstream_tracer=None,
-                 keep_event_log: bool = False) -> None:
+                 keep_event_log: bool = False,
+                 profiler=None) -> None:
         self.system = system
         self.config = config if config is not None else EngineConfig()
         self.capture = _CaptureTracer(downstream_tracer)
+        #: Critical-path profiler (:mod:`repro.sim.profile`).  The null
+        #: default keeps completion handling at one branch.
+        self.profiler = profiler if profiler is not None \
+            else NULL_PROFILER
+        self._profile = self.profiler.enabled
+        self._profile_from = 0
         self.stations: Dict[str, DeviceStation] = {}
         self.now = 0.0
         self.records: List[RequestRecord] = []
@@ -507,14 +535,19 @@ class EventEngine:
     # -- the run -----------------------------------------------------------
 
     def run(self, workload, load, verify_reads: bool = False,
-            on_admit=None, on_complete=None) -> List[RequestRecord]:
+            on_admit=None, on_complete=None,
+            profile_from: int = 0) -> List[RequestRecord]:
         """Drive ``workload``'s stream through the system under ``load``.
 
         ``on_admit(index)`` fires before request ``index`` (0-based) is
         processed — the runner snapshots warmup state there;
         ``on_complete(record)`` fires at each completion event in event
-        time.  Returns the completed records in admission order.
+        time.  ``profile_from`` keeps warmup requests (admission index
+        below it) out of the attached profiler's attribution table so
+        it covers the same window the latency statistics do.  Returns
+        the completed records in admission order.
         """
+        self._profile_from = profile_from
         self.system.set_tracer(self.capture)
         self._stream = workload.requests()
         self._workload = workload
@@ -598,9 +631,11 @@ class EventEngine:
         phases = self._phases_of(entries)
         covered = sum(dur for _station, dur in phases)
         residual = max(0.0, latency - covered)
+        profiled = self._profile and index >= self._profile_from
         job = _Job(record, req, phases, residual,
-                   entries if self.capture.downstream is not None
-                   else None)
+                   entries if (self.capture.downstream is not None
+                               or profiled) else None,
+                   waits=[] if profiled else None)
         # Background work the request triggered becomes deferrable
         # backlog on the stations it targets.
         for device, dur in bg_jobs:
@@ -666,7 +701,10 @@ class EventEngine:
         station.note_depth(self.now)
         while station.free_slots > 0 and station.waiting:
             job, enqueued = station.waiting.popleft()
-            job.record.wait_s += self.now - enqueued
+            wait = self.now - enqueued
+            job.record.wait_s += wait
+            if job.waits is not None and wait > 0.0:
+                job.waits.append((station.name, wait))
             self._start_service(station, job)
         while station.free_slots > 0 and station.backlog_s > 0.0 \
                 and not station.waiting:
@@ -694,9 +732,16 @@ class EventEngine:
         self.queue_waits.record(record.wait_s)
         if self._wait_hist is not None:
             self._wait_hist.observe(record.wait_s * 1e6)
-        if job.entries is not None:
+        if job.entries is not None and \
+                self.capture.downstream is not None:
             self.capture.replay(job.req, job.entries, record.wait_s,
                                 record.latency_s)
+        if job.waits is not None:
+            items = [(device, "queue_wait", dur)
+                     for device, dur in job.waits]
+            items.extend(service_items(job.entries))
+            self.profiler.record_request(job.req[0], items,
+                                         record.latency_s)
         if self._on_complete is not None:
             self._on_complete(record)
         if not self._load.open_loop:

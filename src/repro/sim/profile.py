@@ -1,0 +1,509 @@
+"""Simulated-time profiler: critical-path attribution and flame stacks.
+
+The tracer (:mod:`repro.sim.trace`) records *what happened*; the event
+engine (:mod:`repro.sim.engine`) decides *when*.  This module closes
+the loop and answers the paper's actual question — **which phase on
+which device dominates a request's latency** — by attributing every
+second of end-to-end response time to a ``(device, phase)`` pair:
+``("hdd", "queue_wait")``, ``("ssd", "read")``, ``("cpu",
+"delta_decode")``...  The paper's headline claims are exactly such
+attributions (a read becomes one SSD read + delta fetch + µs-scale
+decompression instead of a ms-scale random HDD access), and under
+concurrency only per-pair accounting can show, e.g., that 72 % of p99
+read latency is HDD queue wait at the saturation knee.
+
+Three pieces:
+
+* **Profilers.**  :data:`NULL_PROFILER` (the default) makes recording
+  a no-op behind one ``enabled`` check, so the hot path stays at zero
+  overhead; :class:`Profiler` aggregates per-request phase items into
+  an :class:`AttributionTable`.  ``run_benchmark(..., profiler=...)``
+  threads it through both engines: the event engine feeds exact
+  per-station queue waits plus captured service phases, the legacy
+  runner feeds service phases alone (no queues exist in that model).
+* **The attribution table.**  Per operation class and ``(device,
+  phase)`` pair: total and mean time, p50/p99 of per-request
+  contributions, share of the class's latency, plus a *blame* summary
+  over the p99 tail.  Per-request sums reconcile exactly with the
+  end-to-end latency statistics — asserted by the test suite.
+* **The folded-stack exporter.**  :func:`export_folded` collapses a
+  recorded trace's span trees into ``component;device;phase count_us``
+  lines consumable by standard flamegraph tooling (flamegraph.pl,
+  speedscope, inferno), complementing the Chrome trace export.
+
+Documented in the "Profiling & critical path" section of
+``docs/OBSERVABILITY.md``; ``repro critpath`` is the CLI front end and
+``repro bench`` snapshots attribution tables into ``BENCH_<n>.json``
+for regression tracking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, TextIO, \
+    Tuple, Union
+
+from repro.sim.stats import LatencyStats
+from repro.sim.trace import TRACK_BACKGROUND, TRACK_REQUEST, TRACK_RUN, \
+    TraceEvent
+
+#: Device heads a span name may start with; ``classify_phase`` splits
+#: ``{device}_{phase}`` names on this set (``hdd_log_read`` ->
+#: ``("hdd", "log_read")``).
+DEVICE_HEADS = ("dram", "ssd", "hdd", "nvram", "raid0")
+
+#: Pseudo-devices attribution rows may use beyond :data:`DEVICE_HEADS`:
+#: ``cpu`` for codec/host computation phases, ``queue`` for pooled
+#: queue time recovered from a trace (the trace does not say which
+#: station), ``host`` for the uninstrumented residual.
+PSEUDO_DEVICES = ("cpu", "queue", "host")
+
+#: The phase name end-to-end time not covered by any emitted item is
+#: attributed to, paired with the ``host`` pseudo-device.
+RESIDUAL_PHASE = "other"
+
+
+def classify_phase(name: str,
+                   device: Optional[str] = None) -> Tuple[str, str]:
+    """Map a trace span name to its ``(device, phase)`` attribution pair.
+
+    ``device`` pins the device when the caller knows it (the engine's
+    capture tracer records which device model emitted a span, so a
+    re-labelled ``hdd_log_append`` on an NVRAM log still attributes to
+    ``nvram``); without it the name is split on :data:`DEVICE_HEADS`.
+    CPU phases (``delta_encode``/``delta_decode``) and anything else
+    unprefixed attribute to the ``cpu`` pseudo-device; the engine's
+    aggregate ``queue`` span becomes ``("queue", "wait")``.
+    """
+    if device is not None:
+        if name.startswith(device + "_"):
+            return device, name[len(device) + 1:]
+        return device, name
+    if name == "queue":
+        return "queue", "wait"
+    head, sep, rest = name.partition("_")
+    if sep and head in DEVICE_HEADS:
+        return head, rest
+    return "cpu", name
+
+
+# ---------------------------------------------------------------------------
+# Attribution
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RequestAttribution:
+    """One request's attributed phase list, in emission order."""
+
+    op: str
+    latency_s: float
+    #: ``(device, phase, seconds)`` items including queue waits and the
+    #: ``(host, other, ...)`` residual; they sum to ``latency_s``.
+    items: Tuple[Tuple[str, str, float], ...]
+
+    @property
+    def covered_s(self) -> float:
+        return sum(dur for _d, _p, dur in self.items)
+
+
+class AttributionRow:
+    """One ``(device, phase)`` pair's aggregate for one request class.
+
+    ``stats`` holds the per-request contributions of the requests that
+    *touched* the pair (so ``p50_us``/``p99_us`` describe how much a
+    request pays when it pays at all); ``mean_us`` spreads the total
+    over *every* request of the class, so the rows of a class sum to
+    its mean latency.
+    """
+
+    __slots__ = ("op", "device", "phase", "total_s", "stats")
+
+    def __init__(self, op: str, device: str, phase: str) -> None:
+        self.op = op
+        self.device = device
+        self.phase = phase
+        self.total_s = 0.0
+        self.stats = LatencyStats()
+
+    @property
+    def n_touched(self) -> int:
+        return self.stats.count
+
+    def p50_us(self) -> float:
+        return self.stats.percentile(50) * 1e6
+
+    def p99_us(self) -> float:
+        return self.stats.percentile(99) * 1e6
+
+
+@dataclass(frozen=True)
+class Blame:
+    """The dominant pair over a class's p99 latency tail."""
+
+    op: str
+    device: str
+    phase: str
+    #: The pair's fraction of all latency in the tail set.
+    share: float
+    #: Requests with latency >= the class p99 (the tail set size).
+    tail_n: int
+    threshold_us: float
+
+    def render(self) -> str:
+        return (f"blame: {self.share:.0%} of the {self.op} p99 tail "
+                f"({self.tail_n} requests >= {self.threshold_us:.1f} us) "
+                f"is {self.device} {self.phase}")
+
+
+class AttributionTable:
+    """Per-class, per-``(device, phase)`` latency attribution.
+
+    Fed one request at a time (:meth:`record_request`); any end-to-end
+    time the caller's items do not cover is attributed to ``(host,
+    other)`` so per-request sums always equal the request latency —
+    the invariant the acceptance test asserts.
+    """
+
+    def __init__(self) -> None:
+        self._rows: Dict[Tuple[str, str, str], AttributionRow] = {}
+        self._latency: Dict[str, LatencyStats] = {}
+        self._requests: List[RequestAttribution] = []
+
+    # -- recording --------------------------------------------------------
+
+    def record_request(self, op: str,
+                       items: Sequence[Tuple[str, str, float]],
+                       latency_s: float) -> None:
+        """Attribute one request's ``(device, phase, seconds)`` items.
+
+        Items of the same pair merge; a positive residual against
+        ``latency_s`` lands on ``(host, other)``.
+        """
+        covered = 0.0
+        merged: Dict[Tuple[str, str], float] = {}
+        kept: List[Tuple[str, str, float]] = []
+        for device, phase, dur in items:
+            if dur <= 0.0:
+                continue
+            covered += dur
+            merged[(device, phase)] = merged.get((device, phase),
+                                                 0.0) + dur
+            kept.append((device, phase, dur))
+        residual = latency_s - covered
+        if residual > 1e-12:
+            merged[("host", RESIDUAL_PHASE)] = residual
+            kept.append(("host", RESIDUAL_PHASE, residual))
+        for (device, phase), total in merged.items():
+            row = self._rows.get((op, device, phase))
+            if row is None:
+                row = AttributionRow(op, device, phase)
+                self._rows[(op, device, phase)] = row
+            row.total_s += total
+            row.stats.record(total)
+        self._latency.setdefault(op, LatencyStats()).record(latency_s)
+        self._requests.append(RequestAttribution(op, latency_s,
+                                                 tuple(kept)))
+
+    # -- queries ----------------------------------------------------------
+
+    @property
+    def ops(self) -> List[str]:
+        return sorted(self._latency)
+
+    @property
+    def requests(self) -> List[RequestAttribution]:
+        return list(self._requests)
+
+    def latency(self, op: str) -> LatencyStats:
+        return self._latency.setdefault(op, LatencyStats())
+
+    def n_requests(self, op: str) -> int:
+        return self.latency(op).count
+
+    def total_s(self, op: str) -> float:
+        return self.latency(op).total
+
+    def mean_us(self, op: str) -> float:
+        return self.latency(op).mean_us
+
+    def rows(self, op: str) -> List[AttributionRow]:
+        """The class's rows, heaviest total first."""
+        rows = [row for key, row in self._rows.items() if key[0] == op]
+        return sorted(rows, key=lambda r: (-r.total_s, r.device,
+                                           r.phase))
+
+    def row_mean_us(self, row: AttributionRow) -> float:
+        """The row's total spread over every request of its class."""
+        n = self.n_requests(row.op)
+        return row.total_s / n * 1e6 if n else 0.0
+
+    def share(self, row: AttributionRow) -> float:
+        total = self.total_s(row.op)
+        return row.total_s / total if total > 0 else 0.0
+
+    def blame(self, op: str,
+              tail_percentile: float = 99.0) -> Optional[Blame]:
+        """Which pair dominates the class's latency tail.
+
+        Pools the per-request attributions of every request whose
+        latency reaches the class's ``tail_percentile`` and returns the
+        pair holding the largest share of that pooled time.
+        """
+        stats = self.latency(op)
+        if not stats.count:
+            return None
+        threshold = stats.percentile(tail_percentile)
+        pooled: Dict[Tuple[str, str], float] = {}
+        tail_n = 0
+        tail_total = 0.0
+        for request in self._requests:
+            if request.op != op or request.latency_s < threshold:
+                continue
+            tail_n += 1
+            tail_total += request.latency_s
+            for device, phase, dur in request.items:
+                pooled[(device, phase)] = pooled.get((device, phase),
+                                                     0.0) + dur
+        if not pooled or tail_total <= 0.0:
+            return None
+        (device, phase), heaviest = max(
+            pooled.items(), key=lambda kv: (kv[1], kv[0]))
+        return Blame(op=op, device=device, phase=phase,
+                     share=heaviest / tail_total, tail_n=tail_n,
+                     threshold_us=threshold * 1e6)
+
+    # -- rendering --------------------------------------------------------
+
+    def render(self, op: Optional[str] = None) -> str:
+        """The attribution table (one class, or every class)."""
+        ops = [op] if op is not None else self.ops
+        sections = [self._render_op(o) for o in ops]
+        return "\n\n".join(sections) if sections else "(no requests profiled)"
+
+    def _render_op(self, op: str) -> str:
+        n = self.n_requests(op)
+        title = (f"{op} critical path (n={n}, "
+                 f"mean {self.mean_us(op):.1f} us, "
+                 f"p99 {self.latency(op).percentile(99) * 1e6:.1f} us)")
+        lines = [title, "-" * len(title)]
+        if not n:
+            lines.append("(no requests profiled)")
+            return "\n".join(lines)
+        lines.append(f"{'device':<8} {'phase':<14} {'mean_us':>10} "
+                     f"{'p50_us':>10} {'p99_us':>10} {'share':>7} "
+                     f"{'hit':>6}")
+        for row in self.rows(op):
+            lines.append(
+                f"{row.device:<8} {row.phase:<14} "
+                f"{self.row_mean_us(row):>10.2f} {row.p50_us():>10.2f} "
+                f"{row.p99_us():>10.2f} {self.share(row):>7.1%} "
+                f"{row.n_touched / n:>6.0%}")
+        lines.append(f"{'total':<8} {'':<14} {self.mean_us(op):>10.2f} "
+                     f"{'':>10} {'':>10} {1:>7.1%}")
+        blame = self.blame(op)
+        if blame is not None:
+            lines.append(blame.render())
+        return "\n".join(lines)
+
+    def to_rows(self) -> List[Dict[str, object]]:
+        """JSON-ready rows (the ``attribution`` array of a bench case)."""
+        out: List[Dict[str, object]] = []
+        for op in self.ops:
+            for row in self.rows(op):
+                out.append({
+                    "op": op,
+                    "device": row.device,
+                    "phase": row.phase,
+                    "total_us": row.total_s * 1e6,
+                    "mean_us": self.row_mean_us(row),
+                    "p50_us": row.p50_us(),
+                    "p99_us": row.p99_us(),
+                    "share": self.share(row),
+                    "n_touched": row.n_touched,
+                })
+        return out
+
+
+# ---------------------------------------------------------------------------
+# Profilers
+# ---------------------------------------------------------------------------
+
+
+class NullProfiler:
+    """The default profiler: recording is a no-op.
+
+    The engines guard every profiling step with ``if
+    profiler.enabled:``, so the disabled layer costs one attribute
+    load and a predictable branch per completed request — measured
+    within run-to-run noise (see ``docs/TUNING.md``).
+    """
+
+    __slots__ = ()
+
+    enabled = False
+    table = None
+
+    def record_request(self, op: str,
+                       items: Sequence[Tuple[str, str, float]],
+                       latency_s: float) -> None:
+        pass
+
+
+#: Shared no-op profiler instance; the default everywhere.
+NULL_PROFILER = NullProfiler()
+
+
+class Profiler:
+    """Aggregates per-request phase items into an attribution table."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.table = AttributionTable()
+
+    def record_request(self, op: str,
+                       items: Sequence[Tuple[str, str, float]],
+                       latency_s: float) -> None:
+        self.table.record_request(op, items, latency_s)
+
+
+# ---------------------------------------------------------------------------
+# Trace-based attribution (offline; either engine)
+# ---------------------------------------------------------------------------
+
+
+def profile_trace(events: Iterable[TraceEvent]) -> AttributionTable:
+    """Fold a recorded trace into an attribution table.
+
+    Works on any trace — legacy or event engine, fresh or re-read from
+    a JSONL/Chrome file.  Only request-track spans count (background
+    and device-internal time is off the critical path by construction).
+    Queue time appears as the pooled ``(queue, wait)`` pair: the trace
+    does not record which station a request waited at, unlike the live
+    engine profiler, which attributes waits per device.
+    """
+    table = AttributionTable()
+    children: Dict[int, List[TraceEvent]] = {}
+    roots: List[TraceEvent] = []
+    for event in events:
+        if event.track != TRACK_REQUEST or event.req is None:
+            continue
+        if event.name == "request_start":
+            roots.append(event)
+        elif event.dur > 0.0:
+            children.setdefault(event.req, []).append(event)
+    for root in roots:
+        items = [classify_phase(child.name) + (child.dur,)
+                 for child in children.get(root.req, ())]
+        table.record_request(str(root.outcome), items, root.dur)
+    return table
+
+
+# ---------------------------------------------------------------------------
+# Folded-stack export (flamegraph tooling)
+# ---------------------------------------------------------------------------
+
+
+#: Enclosing background-section span names: they cover their children
+#: on the timeline, so the fold keeps them as a single stack frame.
+_SECTION_NAMES = ("flush", "scan")
+
+
+def _fold_nested(events: List[TraceEvent], root: str,
+                 stacks: Dict[str, float]) -> None:
+    """Collapse one track's interval-nested spans into ``stacks``.
+
+    Spans sorted by ``(ts, -dur)`` visit parents before the children
+    laid inside their interval; a stack of open ``(end_ts, path)``
+    entries recovers the nesting.  Each span first contributes its full
+    duration at its path, then has every child's duration subtracted
+    from it — leaving exactly its *self* time, the flamegraph
+    convention.
+    """
+    open_spans: List[Tuple[float, List[str]]] = []  # (end_ts, path)
+    ordered = sorted((e for e in events if e.dur > 0.0),
+                     key=lambda e: (e.ts, -e.dur))
+    for event in ordered:
+        while open_spans and open_spans[-1][0] <= event.ts + 1e-12:
+            open_spans.pop()
+        if event.name in _SECTION_NAMES:
+            frames = [event.name]
+        else:
+            frames = list(classify_phase(event.name))
+        parent = open_spans[-1][1] if open_spans else [root]
+        path = parent + frames
+        key = ";".join(path)
+        stacks[key] = stacks.get(key, 0.0) + event.dur
+        if open_spans:  # convert the parent's emission to self time
+            parent_key = ";".join(parent)
+            stacks[parent_key] = stacks.get(parent_key,
+                                            0.0) - event.dur
+        open_spans.append((event.ts + event.dur, path))
+
+
+def _fold_requests(events: List[TraceEvent],
+                   stacks: Dict[str, float]) -> None:
+    """Request track: one stack per phase under the request's op."""
+    latency: Dict[int, Tuple[str, float]] = {}
+    covered: Dict[int, float] = {}
+    for event in events:
+        if event.name == "request_start" and event.req is not None:
+            latency[event.req] = (str(event.outcome), event.dur)
+    for event in events:
+        if event.name == "request_start" or event.req is None or \
+                event.dur <= 0.0 or event.req not in latency:
+            continue
+        op = latency[event.req][0]
+        device, phase = classify_phase(event.name)
+        key = f"{op};{device};{phase}"
+        stacks[key] = stacks.get(key, 0.0) + event.dur
+        covered[event.req] = covered.get(event.req, 0.0) + event.dur
+    for req, (op, total) in latency.items():
+        residual = total - covered.get(req, 0.0)
+        if residual > 1e-12:
+            key = f"{op};host;{RESIDUAL_PHASE}"
+            stacks[key] = stacks.get(key, 0.0) + residual
+
+
+def fold_stacks(events: Iterable[TraceEvent]) -> Dict[str, float]:
+    """Collapse a trace into ``{semicolon-joined stack: seconds}``.
+
+    Request-track spans fold under their request's operation class
+    (``read;ssd;read``), background and run tracks fold under their
+    track name with span nesting preserved
+    (``background;flush;hdd;log_append``).  Device-internal marks are
+    excluded — their time already lives inside an enclosing span.
+    """
+    by_track: Dict[str, List[TraceEvent]] = {}
+    for event in events:
+        by_track.setdefault(event.track, []).append(event)
+    stacks: Dict[str, float] = {}
+    _fold_requests(by_track.get(TRACK_REQUEST, []), stacks)
+    _fold_nested(by_track.get(TRACK_BACKGROUND, []), TRACK_BACKGROUND,
+                 stacks)
+    _fold_nested(by_track.get(TRACK_RUN, []), TRACK_RUN, stacks)
+    return stacks
+
+
+def export_folded(events: Iterable[TraceEvent],
+                  destination: Union[str, TextIO]) -> int:
+    """Write folded flame stacks (``frame;frame;frame count_us``).
+
+    One line per distinct stack, counts in integer microseconds —
+    directly consumable by flamegraph.pl, inferno or speedscope.
+    Sub-microsecond stacks are dropped (they would round to zero).
+    Returns the number of lines written.
+    """
+    if isinstance(destination, str):
+        with open(destination, "w", encoding="utf-8") as handle:
+            return export_folded(events, handle)
+    stacks = fold_stacks(events)
+    count = 0
+    for key in sorted(stacks):
+        value = round(stacks[key] * 1e6)
+        if value < 1:
+            continue
+        destination.write(f"{key} {value}\n")
+        count += 1
+    return count

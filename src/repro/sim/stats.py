@@ -33,12 +33,17 @@ class LatencyStats:
         #: ``min``/``max`` properties never rescan the sample list.
         self._min = math.inf
         self._max = -math.inf
+        #: Streaming sum of squares, so ``variance``/``std`` never
+        #: rescan the sample list (the bench harness sizes its
+        #: noise tolerances from these).
+        self._sumsq = 0.0
 
     def record(self, seconds: float) -> None:
         if seconds < 0:
             raise ValueError(f"latency cannot be negative: {seconds}")
         self._samples.append(seconds)
         self._sum += seconds
+        self._sumsq += seconds * seconds
         if seconds < self._min:
             self._min = seconds
         if seconds > self._max:
@@ -74,6 +79,30 @@ class LatencyStats:
         """Mean latency in microseconds, the unit the paper plots."""
         return self.mean * 1e6
 
+    @property
+    def variance(self) -> float:
+        """Population variance in seconds²; 0.0 with < 2 samples.
+
+        Computed from streaming moments; clamped at zero because the
+        ``E[x²] - E[x]²`` form can go slightly negative in floating
+        point when all samples are (near-)identical.
+        """
+        n = len(self._samples)
+        if n < 2:
+            return 0.0
+        mean = self._sum / n
+        return max(0.0, self._sumsq / n - mean * mean)
+
+    @property
+    def std(self) -> float:
+        """Population standard deviation in seconds."""
+        return math.sqrt(self.variance)
+
+    @property
+    def std_us(self) -> float:
+        """Population standard deviation in microseconds."""
+        return self.std * 1e6
+
     def percentile(self, p: float) -> float:
         """Exact percentile (0 <= p <= 100) by nearest-rank.
 
@@ -99,6 +128,7 @@ class LatencyStats:
         """Fold another stats object into this one."""
         self._samples.extend(other._samples)
         self._sum += other._sum
+        self._sumsq += other._sumsq
         self._min = min(self._min, other._min)
         self._max = max(self._max, other._max)
         self._sorted = None

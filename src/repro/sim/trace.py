@@ -383,12 +383,38 @@ class RingBufferTracer:
 # Exporters
 # ---------------------------------------------------------------------------
 
+def completeness_header(tracer) -> Dict[str, object]:
+    """Trace-completeness metadata for an exported trace.
+
+    Carries the ring buffer's bookkeeping into the file itself, so an
+    exported trace can no longer silently under-report: ``recorded`` is
+    the number of surviving events, ``dropped`` the number the ring
+    evicted, and ``complete`` is ``True`` only when nothing was lost.
+    """
+    recorded = len(tracer.events)
+    dropped = tracer.dropped
+    return {"recorded": recorded, "dropped": dropped,
+            "complete": dropped == 0}
+
+
 def export_jsonl(events: Iterable[TraceEvent],
-                 destination: Union[str, TextIO]) -> int:
-    """Write events as JSON Lines; returns the number written."""
+                 destination: Union[str, TextIO],
+                 tracer=None) -> int:
+    """Write events as JSON Lines; returns the number written.
+
+    With ``tracer`` (the :class:`RingBufferTracer` that recorded the
+    events), the first line is a ``{"trace_header": ...}`` object
+    carrying :func:`completeness_header` metadata; readers recognise it
+    by the absence of a ``name`` field.
+    """
     if isinstance(destination, str):
         with open(destination, "w", encoding="utf-8") as handle:
-            return export_jsonl(events, handle)
+            return export_jsonl(events, handle, tracer=tracer)
+    if tracer is not None:
+        destination.write(json.dumps(
+            {"trace_header": completeness_header(tracer)},
+            sort_keys=True))
+        destination.write("\n")
     count = 0
     for event in events:
         destination.write(json.dumps(event.to_dict(), sort_keys=True))
@@ -398,7 +424,11 @@ def export_jsonl(events: Iterable[TraceEvent],
 
 
 def read_jsonl(source: Union[str, TextIO]) -> List[TraceEvent]:
-    """Read a JSONL trace back into :class:`TraceEvent` objects."""
+    """Read a JSONL trace back into :class:`TraceEvent` objects.
+
+    Header lines (objects without a ``name`` field) are skipped; use
+    :func:`read_jsonl_header` to recover the completeness metadata.
+    """
     if isinstance(source, str):
         with open(source, "r", encoding="utf-8") as handle:
             return read_jsonl(handle)
@@ -406,8 +436,25 @@ def read_jsonl(source: Union[str, TextIO]) -> List[TraceEvent]:
     for line in source:
         line = line.strip()
         if line:
-            events.append(TraceEvent.from_dict(json.loads(line)))
+            data = json.loads(line)
+            if "name" in data:
+                events.append(TraceEvent.from_dict(data))
     return events
+
+
+def read_jsonl_header(source: Union[str, TextIO]) \
+        -> Optional[Dict[str, object]]:
+    """The ``trace_header`` of a JSONL trace, or None if absent."""
+    if isinstance(source, str):
+        with open(source, "r", encoding="utf-8") as handle:
+            return read_jsonl_header(handle)
+    for line in source:
+        line = line.strip()
+        if line:
+            data = json.loads(line)
+            header = data.get("trace_header")
+            return header if isinstance(header, dict) else None
+    return None
 
 
 #: Stable thread ids for the Chrome exporter, one per track.
@@ -421,21 +468,32 @@ _CHROME_TRACK_NAMES = {TRACK_REQUEST: "requests",
 
 def export_chrome_trace(events: Iterable[TraceEvent],
                         destination: Union[str, TextIO],
-                        process_name: str = "repro") -> int:
+                        process_name: str = "repro",
+                        tracer=None) -> int:
     """Write the Chrome ``trace_event`` JSON format.
 
     The output loads directly in ``chrome://tracing`` and Perfetto
     (https://ui.perfetto.dev): spans become complete (``"X"``) events,
     instants become ``"i"`` events, and each track gets a named thread.
     Returns the number of trace events written (metadata excluded).
+
+    With ``tracer``, :func:`completeness_header` metadata is written
+    both as a top-level ``"metadata"`` key and as a
+    ``trace_completeness`` metadata (``"M"``) record, so the drop count
+    survives viewers that strip unknown top-level keys.
     """
     if isinstance(destination, str):
         with open(destination, "w", encoding="utf-8") as handle:
-            return export_chrome_trace(events, handle, process_name)
+            return export_chrome_trace(events, handle, process_name,
+                                       tracer=tracer)
     records: List[Dict[str, object]] = [
         {"ph": "M", "pid": 0, "tid": 0, "name": "process_name",
          "args": {"name": process_name}},
     ]
+    header = completeness_header(tracer) if tracer is not None else None
+    if header is not None:
+        records.append({"ph": "M", "pid": 0, "tid": 0,
+                        "name": "trace_completeness", "args": header})
     for track, tid in _CHROME_TIDS.items():
         records.append({"ph": "M", "pid": 0, "tid": tid,
                         "name": "thread_name",
@@ -466,9 +524,31 @@ def export_chrome_trace(events: Iterable[TraceEvent],
             record["dur"] = event.dur * 1e6
         records.append(record)
         count += 1
-    json.dump({"traceEvents": records, "displayTimeUnit": "ms"},
-              destination)
+    payload: Dict[str, object] = {"traceEvents": records,
+                                  "displayTimeUnit": "ms"}
+    if header is not None:
+        payload["metadata"] = {"trace_completeness": header}
+    json.dump(payload, destination)
     return count
+
+
+def load_chrome_metadata(source: Union[str, TextIO]) \
+        -> Optional[Dict[str, object]]:
+    """The ``trace_completeness`` metadata of a Chrome trace, or None."""
+    if isinstance(source, str):
+        with open(source, "r", encoding="utf-8") as handle:
+            return load_chrome_metadata(handle)
+    payload = json.load(source)
+    meta = payload.get("metadata", {})
+    header = meta.get("trace_completeness")
+    if isinstance(header, dict):
+        return header
+    for record in payload.get("traceEvents", ()):
+        if record.get("ph") == "M" and \
+                record.get("name") == "trace_completeness":
+            args = record.get("args")
+            return args if isinstance(args, dict) else None
+    return None
 
 
 def load_chrome_trace(source: Union[str, TextIO]) -> List[TraceEvent]:

@@ -401,3 +401,103 @@ class TestLoadtestCLI:
                      "--distribution", "constant"])
         assert code == 0
         assert "sweeping 1 explicit rates" in capsys.readouterr().out
+
+
+class TestCapturePhaseOrderingUnderNCQ:
+    """Satellite of the profiler PR: attribution depends on the capture
+    tracer harvesting each request's phases at admission, in stream
+    order — widening a station's NCQ window may only re-time requests,
+    never re-order or re-shape their captured phase lists."""
+
+    @staticmethod
+    def _profiled(slots: int):
+        from repro.sim.profile import Profiler
+
+        wl = SysBenchWorkload(scale=0.05, n_requests=400, seed=21)
+        profiler = Profiler()
+        config = EngineConfig(device_slots={"ssd": slots, "raid0": 4,
+                                            "nvram": 4, "dram": 64})
+        result = run_benchmark(
+            wl, make_system("icash", wl), engine="event",
+            load=OpenLoopLoad(2e6, distribution="constant", seed=5),
+            warmup_fraction=0.0, engine_config=config,
+            profiler=profiler)
+        return profiler.table, result
+
+    def test_service_items_identical_across_slot_counts(self):
+        # The profiler records at completion, and completion order is
+        # exactly what NCQ reshuffles — so compare the multiset of
+        # per-request phase lists: every request must keep the same
+        # phases with the same durations, whatever slot count ran it.
+        serial, _ = self._profiled(slots=1)
+        ncq, _ = self._profiled(slots=8)
+        stripped = sorted(
+            [(request.op, device, phase, dur)
+             for device, phase, dur in request.items
+             if phase != "queue_wait"]
+            for request in serial.requests)
+        stripped_ncq = sorted(
+            [(request.op, device, phase, dur)
+             for device, phase, dur in request.items
+             if phase != "queue_wait"]
+            for request in ncq.requests)
+        assert stripped == stripped_ncq
+
+    def test_waits_shrink_with_more_slots(self):
+        _, serial = self._profiled(slots=1)
+        _, ncq = self._profiled(slots=8)
+        assert ncq.queueing.wait_mean_us < serial.queueing.wait_mean_us
+        # The work itself stays put: only waiting changed.
+        assert ncq.counters == serial.counters
+        assert ncq.ssd_write_ops == serial.ssd_write_ops
+
+
+class TestCurveCsvStationColumns:
+    """Satellite: sweep CSVs carry per-station utilisation and depth."""
+
+    def test_station_columns_present_and_ordered(self):
+        point = loadtest.RatePoint(
+            offered_rps=100.0, achieved_rps=99.0, n_measured=50,
+            mean_ms=0.1, p99_ms=0.3, wait_mean_ms=0.01,
+            bottleneck="ssd", bottleneck_util=0.8,
+            station_util={"ssd": 0.8, "hdd": 0.2},
+            station_depth={"ssd": 2.5, "hdd": 0.1})
+        handle = io.StringIO()
+        assert loadtest.export_curve_csv([point], handle) == 1
+        header, row = handle.getvalue().strip().splitlines()
+        assert header == ("offered_rps,achieved_rps,n_measured,mean_ms,"
+                          "p99_ms,wait_mean_ms,bottleneck,"
+                          "bottleneck_util,util_hdd,util_ssd,"
+                          "depth_hdd,depth_ssd")
+        cells = row.split(",")
+        assert float(cells[8]) == pytest.approx(0.2)   # util_hdd
+        assert float(cells[9]) == pytest.approx(0.8)   # util_ssd
+        assert float(cells[11]) == pytest.approx(2.5)  # depth_ssd
+
+    def test_points_missing_a_station_default_to_zero(self):
+        rich = loadtest.RatePoint(
+            offered_rps=1.0, achieved_rps=1.0, n_measured=1,
+            mean_ms=0.1, p99_ms=0.1, wait_mean_ms=0.0,
+            bottleneck=None, bottleneck_util=0.0,
+            station_util={"ssd": 0.5}, station_depth={"ssd": 1.0})
+        bare = loadtest.RatePoint(
+            offered_rps=2.0, achieved_rps=2.0, n_measured=1,
+            mean_ms=0.1, p99_ms=0.1, wait_mean_ms=0.0,
+            bottleneck=None, bottleneck_util=0.0)
+        handle = io.StringIO()
+        loadtest.export_curve_csv([rich, bare], handle)
+        lines = handle.getvalue().strip().splitlines()
+        assert lines[0].endswith("util_ssd,depth_ssd")
+        assert lines[2].endswith("0.000000,0.000000")
+
+    def test_real_sweep_populates_station_columns(self):
+        def factory():
+            return SysBenchWorkload(scale=0.05, n_requests=300)
+
+        point, result = loadtest.run_rate_point(factory, "icash",
+                                                50_000.0)
+        assert set(point.station_util) == \
+            set(result.queueing.stations)
+        for name, summary in result.queueing.stations.items():
+            assert point.station_util[name] == summary.utilization
+            assert point.station_depth[name] == summary.mean_depth

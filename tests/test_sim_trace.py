@@ -361,3 +361,149 @@ class TestCLI:
         assert code == 0
         events = read_jsonl(str(out))
         assert any(e.name == "request_start" for e in events)
+
+
+class TestPhaseBreakdownEdgeCases:
+    """Satellite of the profiler PR: the attribution math depends on
+    phase_breakdown being exact under nesting and overlap."""
+
+    @staticmethod
+    def request(req, op, ts, dur):
+        return TraceEvent("request_start", ts, dur, TRACK_REQUEST,
+                          req=req, outcome=op)
+
+    @staticmethod
+    def child(req, name, ts, dur):
+        return TraceEvent(name, ts, dur, TRACK_REQUEST, req=req)
+
+    def test_nested_children_all_count(self):
+        # Two phases laid inside the request interval, one strictly
+        # inside the other's timestamps: both contribute their full
+        # duration (breakdowns sum durations, not wall intervals).
+        events = [
+            self.request(1, "read", 0.0, 100e-6),
+            self.child(1, "ssd_read", 0.0, 80e-6),
+            self.child(1, "delta_decode", 10e-6, 20e-6),
+        ]
+        breakdown = phase_breakdown(events, op="read")
+        assert breakdown.phases["ssd_read"] == pytest.approx(80e-6)
+        assert breakdown.phases["delta_decode"] == pytest.approx(20e-6)
+        assert breakdown.other_s == pytest.approx(0.0)
+
+    def test_overlapping_children_never_negative_other(self):
+        # Overlap can push covered time past the request latency (e.g.
+        # parallel device phases); `other` clamps at zero instead of
+        # going negative.
+        events = [
+            self.request(1, "read", 0.0, 50e-6),
+            self.child(1, "ssd_read", 0.0, 40e-6),
+            self.child(1, "hdd_read", 0.0, 40e-6),
+        ]
+        breakdown = phase_breakdown(events, op="read")
+        assert breakdown.other_s == 0.0
+        assert breakdown.total_s == pytest.approx(50e-6)
+
+    def test_instants_and_marks_excluded(self):
+        events = [
+            self.request(1, "read", 0.0, 30e-6),
+            TraceEvent("cache_lookup", 0.0, 0.0, TRACK_REQUEST, req=1),
+            TraceEvent("gc", 5e-6, 10e-6, "device", req=1),
+            self.child(1, "ssd_read", 0.0, 30e-6),
+        ]
+        breakdown = phase_breakdown(events, op="read")
+        assert set(breakdown.phases) == {"ssd_read"}
+
+    def test_children_without_matching_request_ignored(self):
+        events = [
+            self.request(1, "read", 0.0, 10e-6),
+            self.child(1, "ssd_read", 0.0, 10e-6),
+            self.child(2, "hdd_read", 0.0, 99e-6),  # req 2 is a write
+            self.request(2, "write", 10e-6, 5e-6),
+        ]
+        breakdown = phase_breakdown(events, op="read")
+        assert breakdown.n_requests == 1
+        assert "hdd_read" not in breakdown.phases
+
+    def test_children_may_arrive_before_their_request_event(self):
+        # The capture tracer replays child spans before emitting the
+        # enclosing request_start; order in the buffer must not matter.
+        events = [
+            self.child(1, "ssd_read", 0.0, 10e-6),
+            self.request(1, "read", 0.0, 10e-6),
+        ]
+        breakdown = phase_breakdown(events, op="read")
+        assert breakdown.phases["ssd_read"] == pytest.approx(10e-6)
+
+
+class TestExporterCompleteness:
+    """Satellite: exported traces carry their own drop accounting."""
+
+    def overflowed_tracer(self):
+        tracer = RingBufferTracer(capacity_events=4)
+        for lba in range(6):
+            tracer.begin_request("read", lba, 1)
+            tracer.span("ssd_read", 10e-6)
+            tracer.end_request(10e-6)
+        return tracer
+
+    def test_jsonl_header_round_trip(self, tmp_path):
+        from repro.sim.trace import read_jsonl_header
+
+        tracer = self.overflowed_tracer()
+        path = str(tmp_path / "trace.jsonl")
+        export_jsonl(tracer.events, path, tracer=tracer)
+        header = read_jsonl_header(path)
+        assert header == {"recorded": len(tracer.events),
+                          "dropped": tracer.dropped,
+                          "complete": False}
+        # The header line must not leak into the event stream.
+        assert len(read_jsonl(path)) == len(tracer.events)
+
+    def test_jsonl_without_tracer_has_no_header(self, tmp_path):
+        from repro.sim.trace import read_jsonl_header
+
+        tracer = self.overflowed_tracer()
+        path = str(tmp_path / "trace.jsonl")
+        export_jsonl(tracer.events, path)
+        assert read_jsonl_header(path) is None
+
+    def test_chrome_metadata_round_trip(self, tmp_path):
+        from repro.sim.trace import load_chrome_metadata
+
+        tracer = self.overflowed_tracer()
+        path = str(tmp_path / "trace.json")
+        export_chrome_trace(tracer.events, path, tracer=tracer)
+        header = load_chrome_metadata(path)
+        assert header is not None
+        assert header["dropped"] == tracer.dropped
+        assert header["complete"] is False
+        # Drop accounting also rides inside traceEvents as an "M"
+        # record, surviving viewers that strip top-level keys.
+        import json as json_module
+        payload = json_module.loads(Path(path).read_text())
+        m_records = [r for r in payload["traceEvents"]
+                     if r.get("name") == "trace_completeness"]
+        assert len(m_records) == 1 and m_records[0]["ph"] == "M"
+        assert len(load_chrome_trace(path)) == len(tracer.events)
+
+    def test_complete_trace_flagged_complete(self, tmp_path):
+        from repro.sim.trace import load_chrome_metadata
+
+        tracer = RingBufferTracer()
+        tracer.begin_request("read", 1, 1)
+        tracer.span("ssd_read", 10e-6)
+        tracer.end_request(10e-6)
+        path = str(tmp_path / "trace.json")
+        export_chrome_trace(tracer.events, path, tracer=tracer)
+        assert load_chrome_metadata(path)["complete"] is True
+
+    def test_cli_trace_exports_carry_header(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.sim.trace import read_jsonl_header
+
+        out = tmp_path / "trace.jsonl"
+        code = main(["trace", "--workload", "sysbench",
+                     "--requests", "200", "--out", str(out)])
+        assert code == 0
+        header = read_jsonl_header(str(out))
+        assert header is not None and header["complete"] is True
