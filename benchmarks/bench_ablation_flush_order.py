@@ -48,5 +48,5 @@ def test_ablation_flush_order(benchmark):
             per_fetch, 2)
     # Both policies must stay correct and produce hydration; which wins
     # is workload dependent, so assert only sanity here.
-    for order, (result, fetches, hydrations) in outcomes.items():
+    for result, _fetches, _hydrations in outcomes.values():
         assert result.read_mean_us > 0

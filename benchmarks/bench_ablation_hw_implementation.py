@@ -32,8 +32,8 @@ def run_hardware(slowdown: float):
 def test_ablation_hw_implementation(benchmark):
     def sweep():
         out = {"software": run_software()}
-        for slowdown in (1.5, 2.5, 4.0):
-            out[f"hw(x{slowdown})"] = run_hardware(slowdown)
+        out.update({f"hw(x{slowdown})": run_hardware(slowdown)
+                    for slowdown in (1.5, 2.5, 4.0)})
         return out
 
     outcomes = benchmark.pedantic(sweep, rounds=1, iterations=1)

@@ -26,11 +26,9 @@ def run_with_log(on_nvram: bool, flush_interval: int):
 
 def test_ablation_log_medium(benchmark):
     def sweep():
-        out = {}
-        for medium, on_nvram in (("hdd", False), ("nvram", True)):
-            for interval in (64, 1024):
-                out[(medium, interval)] = run_with_log(on_nvram, interval)
-        return out
+        return {(medium, interval): run_with_log(on_nvram, interval)
+                for medium, on_nvram in (("hdd", False), ("nvram", True))
+                for interval in (64, 1024)}
 
     outcomes = benchmark.pedantic(sweep, rounds=1, iterations=1)
     print("\nAblation: delta-log medium x flush interval (SPEC-sfs)")

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Median-of-N host wall time for the QUICK bench suite.
+
+The BENCH_<n>.json metrics are virtual-clock deterministic, so they
+cannot show whether the harness itself got faster or slower.  This
+script measures that: it runs the QUICK suite N times (default 5) and
+reports per-repeat and median *host* wall seconds — the number
+docs/TUNING.md quotes and the trend `host_wall_s` (schema v2) tracks
+per case.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_wallclock.py [--repeats N]
+        [--jobs J]
+
+The first repeat includes one-time costs (imports, numpy warmup);
+median-of-N is quoted precisely so that outlier doesn't dominate.
+"""
+
+import argparse
+import statistics
+import sys
+import time
+
+from repro.experiments.bench import run_suite
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="median-of-N host wall time for the QUICK suite")
+    parser.add_argument("--repeats", type=int, default=5,
+                        help="suite repetitions (default 5)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes per suite run "
+                             "(default 1: measure the serial hot path)")
+    args = parser.parse_args(argv)
+    if args.repeats < 1:
+        print("need at least one repeat", file=sys.stderr)
+        return 2
+
+    walls = []
+    for repeat in range(args.repeats):
+        start = time.perf_counter()
+        document = run_suite(quick=True, jobs=args.jobs)
+        wall = time.perf_counter() - start
+        walls.append(wall)
+        per_case = ", ".join(
+            f"{case['case']}={case['host_wall_s']:.3f}s"
+            for case in document["cases"])
+        print(f"repeat {repeat + 1}/{args.repeats}: {wall:.3f}s "
+              f"({per_case})")
+
+    median = statistics.median(walls)
+    print(f"\nQUICK suite, jobs={args.jobs}: median of {args.repeats} "
+          f"repeats = {median:.3f}s "
+          f"(min {min(walls):.3f}s, max {max(walls):.3f}s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

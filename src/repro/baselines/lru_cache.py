@@ -91,7 +91,7 @@ class LRUCacheStorage(StorageSystem):
                 latency += self.hdd.read(block, 1)
                 latency += self._insert(block, dirty=False)
                 self.stats.bump("cache_misses")
-            contents.append(self.backing.get(block))
+            contents.append(self.backing.view(block))
         return latency, contents
 
     def write(self, lba: int, blocks: Sequence[np.ndarray]) -> float:

@@ -52,7 +52,7 @@ class PureSSD(StorageSystem):
              ) -> Tuple[float, List[np.ndarray]]:
         self._check_span(lba, nblocks)
         latency = self.ssd.read(lba, nblocks)
-        contents = [self.backing.get(block)
+        contents = [self.backing.view(block)
                     for block in range(lba, lba + nblocks)]
         return latency, contents
 

@@ -48,7 +48,7 @@ class RAID0Storage(StorageSystem):
              ) -> Tuple[float, List[np.ndarray]]:
         self._check_span(lba, nblocks)
         latency = self.raid.read(lba, nblocks)
-        contents = [self.backing.get(block)
+        contents = [self.backing.view(block)
                     for block in range(lba, lba + nblocks)]
         return latency, contents
 

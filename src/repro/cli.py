@@ -38,6 +38,10 @@ def _build_parser() -> argparse.ArgumentParser:
     figure.add_argument("--requests", type=int, default=None,
                         help="requests per benchmark run "
                              "(default: harness default)")
+    figure.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for the grid runs behind "
+                             "the figures (results are identical at any "
+                             "job count)")
 
     profile = sub.add_parser("profile",
                              help="measure a workload's Table 4 profile")
@@ -52,6 +56,9 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="values to sweep (parsed as int when "
                             "possible)")
     sweep.add_argument("--requests", type=int, default=6000)
+    sweep.add_argument("--jobs", type=int, default=1,
+                       help="worker processes, one sweep point each "
+                            "(results are identical at any job count)")
 
     validate = sub.add_parser(
         "validate", help="run every figure and summarise shape scores "
@@ -146,6 +153,10 @@ def _build_parser() -> argparse.ArgumentParser:
     loadtest.add_argument("--compare", action="store_true",
                           help="instead of a sweep, compare every "
                                "architecture at its own knee")
+    loadtest.add_argument("--jobs", type=int, default=1,
+                          help="worker processes across rate points / "
+                               "architectures (results are identical "
+                               "at any job count)")
 
     critpath = sub.add_parser(
         "critpath", help="run one workload under the simulated-time "
@@ -193,6 +204,10 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--verbose", action="store_true",
                        help="show every compared metric, not just "
                             "regressions")
+    bench.add_argument("--jobs", type=int, default=1,
+                       help="worker processes, one suite case each "
+                            "(every compared field is identical at any "
+                            "job count)")
     return parser
 
 
@@ -217,7 +232,8 @@ def _cmd_list() -> int:
     return 0
 
 
-def _cmd_figure(name: str, requests: Optional[int]) -> int:
+def _cmd_figure(name: str, requests: Optional[int],
+                jobs: int = 1) -> int:
     names = (list(figures_module.ALL_FIGURES)
              if name == "all" else [name])
     unknown = [n for n in names if n not in figures_module.ALL_FIGURES]
@@ -225,13 +241,31 @@ def _cmd_figure(name: str, requests: Optional[int]) -> int:
         print(f"unknown figure(s): {', '.join(unknown)} — see "
               f"'repro list'", file=sys.stderr)
         return 2
+
+    def _n_requests(fig_name: str) -> Optional[int]:
+        # Multi-VM figures take per-VM counts; leave their defaults.
+        if requests is not None and "figure1" not in fig_name[:8] \
+                and fig_name not in ("figure15", "figure16"):
+            return requests
+        return None
+
+    if jobs > 1:
+        # Fan the grid cells behind the requested figures out across
+        # workers; the figure functions below then hit the cache.
+        groups: dict = {}
+        for fig_name in names:
+            groups.setdefault(_n_requests(fig_name), []).append(fig_name)
+        for n_req, group in groups.items():
+            if n_req is None:
+                figures_module.prewarm(group, jobs=jobs)
+            else:
+                figures_module.prewarm(group, n_requests=n_req, jobs=jobs)
     for fig_name in names:
         fn = figures_module.ALL_FIGURES[fig_name]
         kwargs = {}
-        if requests is not None and "figure1" not in fig_name[:8]:
-            # Multi-VM figures take per-VM counts; leave their defaults.
-            if fig_name not in ("figure15", "figure16"):
-                kwargs["n_requests"] = requests
+        n_req = _n_requests(fig_name)
+        if n_req is not None:
+            kwargs["n_requests"] = n_req
         result = fn(**kwargs)
         print(result.render())
         print()
@@ -248,14 +282,16 @@ def _cmd_profile(workload_name: str, requests: int) -> int:
 
 
 def _cmd_sweep(parameter: str, raw_values: List[str],
-               requests: int) -> int:
+               requests: int, jobs: int = 1) -> int:
+    from repro.experiments.parallel import RunSpec
     from repro.workloads import SysBenchWorkload
 
     values = [_parse_value(v) for v in raw_values]
     try:
         points = sweep_config(
             lambda: SysBenchWorkload(n_requests=requests),
-            parameter, values)
+            parameter, values, jobs=jobs,
+            base_spec=RunSpec(workload="sysbench", n_requests=requests))
     except TypeError as error:
         print(f"bad parameter {parameter!r}: {error}", file=sys.stderr)
         return 2
@@ -409,18 +445,21 @@ def _cmd_loadtest(workload_name: str, system_name: str, requests: int,
                   points: int, span: Optional[List[float]],
                   rates: Optional[List[float]], distribution: str,
                   seed: int, csv_path: Optional[str],
-                  compare: bool) -> int:
+                  compare: bool, jobs: int = 1) -> int:
     from repro.experiments import loadtest
+    from repro.experiments.parallel import RunSpec
 
     def workload_factory():
         return _WORKLOADS[workload_name](n_requests=requests)
+
+    base_spec = RunSpec(workload=workload_name, n_requests=requests)
 
     if compare:
         print(f"comparing architectures at their saturation knees "
               f"({workload_name}, {requests} requests/run)...")
         reports = loadtest.compare_at_knee(
             workload_factory, distribution=distribution, seed=seed,
-            progress=True)
+            progress=True, jobs=jobs, base_spec=base_spec)
         print(loadtest.render_comparison(reports))
         return 0
 
@@ -439,7 +478,8 @@ def _cmd_loadtest(workload_name: str, system_name: str, requests: int,
               f"across {span_t[0]:.1f}-{span_t[1]:.1f}x "
               f"({distribution} arrivals)")
     curve = loadtest.sweep_rates(workload_factory, system_name, sweep,
-                                 distribution=distribution, seed=seed)
+                                 distribution=distribution, seed=seed,
+                                 jobs=jobs, base_spec=base_spec)
     print()
     print(loadtest.render_curve(curve))
     if csv_path is not None:
@@ -497,7 +537,8 @@ def _cmd_critpath(workload_name: str, system_name: str, requests: int,
 
 
 def _cmd_bench(quick: bool, out_dir: str, compare_path: Optional[str],
-               against: Optional[str], verbose: bool) -> int:
+               against: Optional[str], verbose: bool,
+               jobs: int = 1) -> int:
     from repro.experiments import bench
 
     if against is not None and compare_path is None:
@@ -509,9 +550,10 @@ def _cmd_bench(quick: bool, out_dir: str, compare_path: Optional[str],
         print(f"comparing {against} against {compare_path}")
     else:
         suite = "quick" if quick else "full"
-        print(f"running {suite} suite...")
+        workers = f" ({jobs} jobs)" if jobs > 1 else ""
+        print(f"running {suite} suite{workers}...")
         current = bench.run_suite(
-            quick=quick,
+            quick=quick, jobs=jobs,
             progress=lambda case: print(f"  {case.case}"))
         path = bench.write_bench(current, out_dir)
         print(f"wrote {path} (schema v{current['schema_version']}, "
@@ -531,11 +573,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "list":
         return _cmd_list()
     if args.command == "figure":
-        return _cmd_figure(args.name, args.requests)
+        return _cmd_figure(args.name, args.requests, args.jobs)
     if args.command == "profile":
         return _cmd_profile(args.workload, args.requests)
     if args.command == "sweep":
-        return _cmd_sweep(args.parameter, args.values, args.requests)
+        return _cmd_sweep(args.parameter, args.values, args.requests,
+                          args.jobs)
     if args.command == "validate":
         return _cmd_validate(args.requests)
     if args.command == "analyze":
@@ -553,14 +596,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_loadtest(args.workload, args.system, args.requests,
                              args.points, args.span, args.rates,
                              args.distribution, args.seed, args.csv,
-                             args.compare)
+                             args.compare, args.jobs)
     if args.command == "critpath":
         return _cmd_critpath(args.workload, args.system, args.requests,
                              args.engine, args.rate, args.seed,
                              args.folded)
     if args.command == "bench":
         return _cmd_bench(args.quick, args.out_dir, args.compare,
-                          args.against, args.verbose)
+                          args.against, args.verbose, args.jobs)
     raise AssertionError(f"unhandled command {args.command}")
 
 

@@ -43,6 +43,20 @@ from repro.devices.ssd import FlashSSD, SSDSpec
 from repro.sim.backing import BackingStore
 
 
+def _readonly_view(arr: np.ndarray) -> np.ndarray:
+    """A read-only alias of ``arr`` — the zero-copy read-path currency.
+
+    Read results used to be defensive copies; profiling put those copies
+    among the top host-time costs of a run.  A locked view is safe here
+    because controller-owned buffers are replaced wholesale, never
+    mutated in place, and the read contract says results are valid only
+    until the next operation.
+    """
+    view = arr.view()
+    view.flags.writeable = False
+    return view
+
+
 class _DeltaMapEntry:
     """Durable metadata for one delta-mapped block.
 
@@ -186,6 +200,16 @@ class ICASHController(StorageSystem):
 
     def read(self, lba: int, nblocks: int = 1
              ) -> Tuple[float, List[np.ndarray]]:
+        """Read ``nblocks`` starting at ``lba``.
+
+        Returned arrays may be *read-only views* into controller-owned
+        buffers (the RAM data cache, the SSD frozen copies, the backing
+        store): they are valid until the next controller operation, and
+        callers that retain content across operations must copy it.
+        Controller-internal buffers are only ever replaced wholesale —
+        never mutated in place — so a view can never observe a torn
+        update; it can only go stale.
+        """
         self._check_span(lba, nblocks)
         latency = 0.0
         contents: List[np.ndarray] = []
@@ -252,6 +276,7 @@ class ICASHController(StorageSystem):
                 vb = self._install_virtual_block(lba, BlockKind.REFERENCE,
                                                  ssd_slot=slot)
                 vb.signatures = signatures
+                self.scanner.note_reference(vb)
                 for row, value in enumerate(signatures):
                     index.setdefault((row, value), []).append(lba)
                 self.stats.bump("ingest_references")
@@ -307,28 +332,28 @@ class ICASHController(StorageSystem):
         elif vb.has_data:
             self.stats.bump("ram_data_hits")
             latency = self.dram.access()
-            content = vb.data.copy()
+            content = _readonly_view(vb.data)
         elif vb.is_reference:
             if vb.lba in self._shadowed_refs:
                 # The frozen SSD copy only serves dependents; the block's
                 # own content lives on the HDD data region.
                 latency = self.hdd.read(vb.lba, 1)
-                content = self.backing.get(vb.lba)
+                content = self.backing.view(vb.lba)
                 self._maybe_cache_data(vb, content, dirty=False)
                 self.stats.bump("shadowed_ref_reads")
             else:
                 latency = self._ssd_read_latency(vb.lba)
-                content = self._ssd_data[vb.lba].copy()
+                content = _readonly_view(self._ssd_data[vb.lba])
                 self.stats.bump("ssd_ref_reads")
                 self.stats.bump("ssd_ref_direct_reads")
         elif lba in self._spilled:
             latency = self._ssd_read_latency(lba)
-            content = self._ssd_data[lba].copy()
+            content = _readonly_view(self._ssd_data[lba])
             self.stats.bump("ssd_spill_reads")
         else:
             # Independent block whose data block was evicted: back to HDD.
             latency = self.hdd.read(lba, 1)
-            content = self.backing.get(lba)
+            content = self.backing.view(lba)
             self._maybe_cache_data(vb, content, dirty=False)
             self.stats.bump("hdd_data_reads")
         if not vb.signatures:
@@ -345,13 +370,13 @@ class ICASHController(StorageSystem):
             return self._read_miss_delta_mapped(lba, entry)
         if lba in self._spilled:
             latency = self._ssd_read_latency(lba)
-            content = self._ssd_data[lba].copy()
+            content = _readonly_view(self._ssd_data[lba])
             vb = self._install_virtual_block(
                 lba, BlockKind.INDEPENDENT, ssd_slot=self._slot_of[lba])
             self.stats.bump("ssd_spill_reads")
             return latency, content, vb
         latency = self.hdd.read(lba, 1)
-        content = self.backing.get(lba)
+        content = self.backing.view(lba)
         vb = self._install_virtual_block(lba, BlockKind.INDEPENDENT)
         self._maybe_cache_data(vb, content, dirty=False)
         self.stats.bump("hdd_data_reads")
@@ -584,6 +609,7 @@ class ICASHController(StorageSystem):
                 self._shadowed_refs.discard(vb.lba)
                 vb.signatures = block_signatures(
                     content, self.config.signature_scheme)
+                self.scanner.note_reference(vb)
                 self.stats.bump("reference_refreshes")
                 return latency
             # Dependents pin the frozen copy, and the delta is too big to
@@ -772,8 +798,7 @@ class ICASHController(StorageSystem):
                 raise RuntimeError(
                     f"delta map points block {lba} at log slot "
                     f"{entry.log_slot} which no longer holds its record")
-        for record in pending:
-            live[record.lba] = record
+        live.update((record.lba, record) for record in pending)
         records = list(live.values())
         self.log.reset()
         latency, slots, displaced = self.log.append(records)
@@ -869,6 +894,7 @@ class ICASHController(StorageSystem):
     def _promote_reference(self, vb: VirtualBlock) -> None:
         content = self._scan_content(vb)
         if content is None:  # pragma: no cover - scanner filtered already
+            self.scanner.note_retired(vb.lba)
             return
         content = content.copy()
         was_spilled = vb.lba in self._spilled
@@ -879,6 +905,9 @@ class ICASHController(StorageSystem):
         else:
             slot = self._acquire_ssd_slot(vb.lba)
             if slot is None:
+                # Promotion fell through: undo the scan's optimistic
+                # signature-index insertion.
+                self.scanner.note_retired(vb.lba)
                 return
             self._ssd_data[vb.lba] = content
             self.background_time += self._ssd_write(vb.lba, content)
@@ -893,6 +922,7 @@ class ICASHController(StorageSystem):
         vb.ref_lba = None
         vb.associate_count = 0
         self.cache.drop_data(vb)  # SSD now serves it; free the RAM block
+        self.scanner.note_reference(vb)
         self.stats.bump("references_created")
 
     def _apply_association(self, vb: VirtualBlock, ref_lba: int,
@@ -940,6 +970,7 @@ class ICASHController(StorageSystem):
             # A shadowed reference demotes to a plain independent block:
             # its content already lives on the ordinary data path.
             self._shadowed_refs.discard(vb.lba)
+            self.scanner.note_retired(vb.lba)
             retired += 1
             self.stats.bump("references_retired")
 
@@ -1168,9 +1199,9 @@ class ICASHController(StorageSystem):
             f"({self.capacity_blocks * 4096 / 2**20:.0f} MiB)",
             "block population:",
         ]
-        for kind in ("reference", "associate", "independent"):
-            lines.append(f"  {kind:<12} {counts[kind]:>7} "
-                         f"({counts[kind] / total:6.1%})")
+        lines.extend(f"  {kind:<12} {counts[kind]:>7} "
+                     f"({counts[kind] / total:6.1%})"
+                     for kind in ("reference", "associate", "independent"))
         lines.extend([
             "ram:",
             f"  data blocks   {self.cache.data_blocks_used:>7} / "

@@ -122,6 +122,7 @@ def rebuild_controller(crashed: ICASHController) -> ICASHController:
                                           ssd_slot=slot)
         vb.signatures = block_signatures(rebuilt[lba],
                                          crashed.config.signature_scheme)
+        fresh.scanner.note_reference(vb)
     for lba in sorted(crashed.spilled_lbas):
         slot = fresh._acquire_ssd_slot(lba)
         if slot is None:  # pragma: no cover

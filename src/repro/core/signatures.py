@@ -10,13 +10,22 @@ blocks.
 
 A hash-based scheme is provided anyway so the ablation bench
 (``bench_ablation_signature_scheme``) can quantify that design choice.
+
+Because :func:`block_signatures` sits on both hot request paths (every
+write, every first read of a block), results are memoised behind a
+bounded LRU keyed by the *exact block content* plus the scheme — so a
+cache hit is byte-for-byte equivalent to recomputing by construction
+(no digest collisions: the key is the content itself).  The direct
+implementations (:func:`_sampled_signatures`, :func:`_hash_signatures`)
+are kept and exercised by golden-equivalence tests.
 """
 
 from __future__ import annotations
 
 import enum
 import hashlib
-from typing import Tuple
+from collections import OrderedDict
+from typing import Dict, Tuple
 
 import numpy as np
 
@@ -31,6 +40,17 @@ SAMPLE_OFFSETS = (0, 16, 32, 64)
 #: Number of possible values of one sub-signature.
 SIGNATURE_VALUES = 256
 
+#: Bound on the memoised-signature LRU (entries; each key holds one 4 KB
+#: content copy, so the default caps the cache at ~16 MiB — the same
+#: order as the paper's delta buffer).
+SIGNATURE_CACHE_CAPACITY = 4096
+
+#: Flat byte indices of every sampled offset within a 4 KB block, row
+#: by sub-block — precomputed once for the vectorised fast path.
+_FLAT_SAMPLE_INDEX = (
+    np.arange(SUB_BLOCKS, dtype=np.intp)[:, None] * SUB_BLOCK_BYTES
+    + np.array(SAMPLE_OFFSETS, dtype=np.intp)).ravel()
+
 
 class SignatureScheme(enum.Enum):
     """How sub-signatures are derived from sub-block content."""
@@ -44,6 +64,25 @@ class SignatureScheme(enum.Enum):
     HASH = "hash"
 
 
+_signature_cache: "OrderedDict[Tuple[str, bytes], Tuple[int, ...]]" = \
+    OrderedDict()
+_cache_counters = {"hits": 0, "misses": 0}
+
+
+def clear_signature_cache() -> None:
+    """Drop every memoised signature (tests and benchmarks use this)."""
+    _signature_cache.clear()
+    _cache_counters["hits"] = 0
+    _cache_counters["misses"] = 0
+
+
+def signature_cache_stats() -> Dict[str, int]:
+    """Hit/miss/size counters of the memoisation layer."""
+    return {"hits": _cache_counters["hits"],
+            "misses": _cache_counters["misses"],
+            "size": len(_signature_cache)}
+
+
 def block_signatures(block: np.ndarray,
                      scheme: SignatureScheme = SignatureScheme.SAMPLED,
                      ) -> Tuple[int, ...]:
@@ -52,12 +91,54 @@ def block_signatures(block: np.ndarray,
         raise ValueError(
             f"signatures are defined on {BLOCK_SIZE}-byte blocks, "
             f"got {block.nbytes}")
+    if block.dtype != np.uint8:
+        # Rare non-byte layouts keep the direct element-wise semantics
+        # and skip the content-keyed cache (whose key is raw bytes).
+        if scheme is SignatureScheme.SAMPLED:
+            return _sampled_signatures(block)
+        return _hash_signatures(block)
+    raw = block.tobytes()
+    key = (scheme.value, raw)
+    cached = _signature_cache.get(key)
+    if cached is not None:
+        _signature_cache.move_to_end(key)
+        _cache_counters["hits"] += 1
+        return cached
+    _cache_counters["misses"] += 1
     if scheme is SignatureScheme.SAMPLED:
-        return _sampled_signatures(block)
-    return _hash_signatures(block)
+        signatures = _sampled_from_bytes(raw)
+    else:
+        signatures = _hash_from_bytes(raw)
+    _signature_cache[key] = signatures
+    if len(_signature_cache) > SIGNATURE_CACHE_CAPACITY:
+        _signature_cache.popitem(last=False)
+    return signatures
+
+
+def _sampled_from_bytes(raw: bytes) -> Tuple[int, ...]:
+    """Vectorised sampled scheme over the block's raw bytes.
+
+    ``uint8`` summation wraps at 256, which *is* the paper's mod-256 —
+    golden-equivalence tested against :func:`_sampled_signatures`.
+    """
+    flat = np.frombuffer(raw, dtype=np.uint8)
+    sums = flat[_FLAT_SAMPLE_INDEX] \
+        .reshape(SUB_BLOCKS, len(SAMPLE_OFFSETS)) \
+        .sum(axis=1, dtype=np.uint8)
+    return tuple(sums.tolist())
+
+
+def _hash_from_bytes(raw: bytes) -> Tuple[int, ...]:
+    return tuple(
+        hashlib.sha1(
+            raw[i * SUB_BLOCK_BYTES:(i + 1) * SUB_BLOCK_BYTES]
+        ).digest()[0]
+        for i in range(SUB_BLOCKS))
 
 
 def _sampled_signatures(block: np.ndarray) -> Tuple[int, ...]:
+    """Direct (unmemoised, element-wise) sampled scheme — the reference
+    implementation golden tests compare the cached path against."""
     view = block.reshape(SUB_BLOCKS, SUB_BLOCK_BYTES)
     # Sum the four sampled columns per sub-block; uint8 overflow wraps
     # naturally at 256, matching the paper's 1-byte signature.
@@ -66,6 +147,7 @@ def _sampled_signatures(block: np.ndarray) -> Tuple[int, ...]:
 
 
 def _hash_signatures(block: np.ndarray) -> Tuple[int, ...]:
+    """Direct hash scheme — reference implementation for golden tests."""
     view = block.reshape(SUB_BLOCKS, SUB_BLOCK_BYTES)
     return tuple(
         hashlib.sha1(view[i].tobytes()).digest()[0]

@@ -28,6 +28,80 @@ from repro.delta.encoder import Delta, encode_delta
 REF_CANDIDATE_FRACTION = 0.10
 
 
+class SignatureIndex:
+    """Incrementally maintained ``(row, value) -> reference blocks`` map.
+
+    The direct implementation (:meth:`SimilarityScanner._index_by_signature`)
+    rebuilds this mapping from scratch on every scan — eight dict operations
+    per reference per scan.  This class keeps the mapping alive across
+    scans: the controller notifies it when references appear, change
+    content, or retire, and each scan merely *syncs* the window's
+    references (a no-op when nothing changed).
+
+    Correctness does not depend on the notifications being complete: the
+    per-scan sync re-adds any window reference whose entry is missing or
+    stale, and the scanner filters candidates to the current window, so a
+    stale entry for a retired reference can never be selected — it only
+    wastes a dict hit until evicted.
+    """
+
+    def __init__(self) -> None:
+        #: ``(row, value) -> {lba: block}`` — dict-valued cells so discard
+        #: is O(1) instead of a list scan.
+        self._cells: Dict[Tuple[int, int], Dict[int, VirtualBlock]] = {}
+        #: ``lba -> (block, signatures-at-insert)``; the recorded
+        #: signatures let :meth:`sync` detect content refreshes.
+        self._entries: Dict[int, Tuple[VirtualBlock, Tuple[int, ...]]] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def add(self, vb: VirtualBlock) -> None:
+        """Index ``vb`` under each of its sub-signatures (replacing any
+        previous entry for the same LBA)."""
+        if not vb.signatures:
+            return
+        self.discard(vb.lba)
+        sigs = tuple(vb.signatures)
+        self._entries[vb.lba] = (vb, sigs)
+        for row, value in enumerate(sigs):
+            self._cells.setdefault((row, value), {})[vb.lba] = vb
+
+    def discard(self, lba: int) -> None:
+        """Forget the reference at ``lba`` (no-op when absent)."""
+        entry = self._entries.pop(lba, None)
+        if entry is None:
+            return
+        _vb, sigs = entry
+        for row, value in enumerate(sigs):
+            cell = self._cells.get((row, value))
+            if cell is not None:
+                cell.pop(lba, None)
+                if not cell:
+                    del self._cells[(row, value)]
+
+    def sync(self, vb: VirtualBlock) -> None:
+        """Ensure the index entry for ``vb`` is current (self-healing)."""
+        entry = self._entries.get(vb.lba)
+        if entry is not None and entry[0] is vb \
+                and entry[1] == tuple(vb.signatures):
+            return
+        self.add(vb)
+
+    def candidates(self, row: int, value: int) -> Sequence[VirtualBlock]:
+        """References carrying sub-signature ``value`` at ``row``.
+
+        The returned view must not be retained across an :meth:`add` or
+        :meth:`discard` — the scanner consumes it immediately.
+        """
+        cell = self._cells.get((row, value))
+        return cell.values() if cell else ()
+
+    def clear(self) -> None:
+        self._cells.clear()
+        self._entries.clear()
+
+
 def popularity_ranking(entries: Sequence[Tuple[object, Sequence[int]]],
                        heatmap: Heatmap,
                        ) -> List[Tuple[object, int]]:
@@ -79,12 +153,26 @@ class SimilarityScanner:
 
     def __init__(self, heatmap: Heatmap, min_signature_match: int,
                  delta_accept_bytes: int, scan_compare_s: float,
-                 compress_s: float) -> None:
+                 compress_s: float,
+                 use_incremental_index: bool = True) -> None:
         self.heatmap = heatmap
         self.min_signature_match = min_signature_match
         self.delta_accept_bytes = delta_accept_bytes
         self.scan_compare_s = scan_compare_s
         self.compress_s = compress_s
+        #: ``False`` falls back to rebuilding the signature index per scan
+        #: (the direct implementation) — golden-equivalence tests run both
+        #: paths and require identical results.
+        self.use_incremental_index = use_incremental_index
+        self.signature_index = SignatureIndex()
+
+    def note_reference(self, vb: VirtualBlock) -> None:
+        """Controller hook: ``vb`` became (or refreshed) a reference."""
+        self.signature_index.add(vb)
+
+    def note_retired(self, lba: int) -> None:
+        """Controller hook: the reference at ``lba`` was demoted/evicted."""
+        self.signature_index.discard(lba)
 
     def scan(self, cache: ICashCache, window: int, max_new_references: int,
              content_fn: Callable[[VirtualBlock], Optional[np.ndarray]],
@@ -117,7 +205,24 @@ class SimilarityScanner:
         # reference coverage across content clusters instead of piling
         # redundant references into the hottest one.
         refs: List[VirtualBlock] = [vb for vb, _ in ranked if vb.is_reference]
-        index = self._index_by_signature(refs)
+        incremental = self.use_incremental_index
+        if incremental:
+            # Heal the persistent index for this window (no-op per ref
+            # when notifications kept it current) and rank the window's
+            # references by popularity position: the rank reproduces the
+            # direct implementation's tie-break, where a cell lists
+            # window references in ranked order followed by references
+            # promoted mid-scan in promotion order.
+            for ref in refs:
+                self.signature_index.sync(ref)
+            rank_of: Dict[int, int] = {
+                ref.lba: pos for pos, ref in enumerate(refs)}
+            next_rank = len(refs)
+            index: Dict[Tuple[int, int], List[VirtualBlock]] = {}
+        else:
+            rank_of = {}
+            next_rank = 0
+            index = self._index_by_signature(refs)
         promotable = min(max_new_references,
                          max(4, int(len(ranked) * REF_CANDIDATE_FRACTION)))
         for vb, _pop in ranked:
@@ -128,7 +233,10 @@ class SimilarityScanner:
             content = content_fn(vb)
             if content is None:
                 continue
-            best = self._best_reference(vb, index, result)
+            if incremental:
+                best = self._best_reference_indexed(vb, rank_of, result)
+            else:
+                best = self._best_reference(vb, index, result)
             if best is not None and best.lba != vb.lba:
                 ref_content = content_fn(best)
                 if ref_content is not None:
@@ -140,8 +248,13 @@ class SimilarityScanner:
                         continue
             if len(result.new_references) < promotable:
                 result.new_references.append(vb)
-                for row, value in enumerate(vb.signatures):
-                    index.setdefault((row, value), []).append(vb)
+                if incremental:
+                    self.signature_index.add(vb)
+                    rank_of[vb.lba] = next_rank
+                    next_rank += 1
+                else:
+                    for row, value in enumerate(vb.signatures):
+                        index.setdefault((row, value), []).append(vb)
         return result
 
     @staticmethod
@@ -153,6 +266,46 @@ class SimilarityScanner:
             for row, value in enumerate(ref.signatures):
                 index.setdefault((row, value), []).append(ref)
         return index
+
+    def _best_reference_indexed(self, vb: VirtualBlock,
+                                rank_of: Dict[int, int],
+                                result: ScanResult,
+                                ) -> Optional[VirtualBlock]:
+        """Indexed counterpart of :meth:`_best_reference`.
+
+        The direct implementation's ``max`` keeps the *first-inserted*
+        maximum, and insertion order there is lexicographic by (first
+        matching signature row, position in the cell's list) — which for
+        window references is their popularity rank and for mid-scan
+        promotions their promotion order.  Selecting the minimum of
+        ``(-count, first_row, rank)`` is therefore byte-identical, while
+        letting the persistent index hold references in any order and
+        ignore entries outside the current window.
+        """
+        # lba -> [tally, first matching row, rank, block]
+        tallies: Dict[int, List] = {}
+        for row, value in enumerate(vb.signatures):
+            for ref in self.signature_index.candidates(row, value):
+                rank = rank_of.get(ref.lba)
+                if rank is None:
+                    continue  # stale entry: not a reference this window
+                entry = tallies.get(ref.lba)
+                if entry is None:
+                    tallies[ref.lba] = [1, row, rank, ref]
+                else:
+                    entry[0] += 1
+        result.comparisons += len(tallies)
+        result.cpu_time += len(tallies) * self.scan_compare_s
+        if not tallies:
+            return None
+        count, _row, _rank, best = min(
+            tallies.values(), key=lambda e: (-e[0], e[1], e[2]))
+        if count < self.min_signature_match:
+            return None
+        if signature_overlap(vb.signatures, best.signatures) \
+                < self.min_signature_match:
+            return None
+        return best
 
     def _best_reference(self, vb: VirtualBlock,
                         index: Dict[Tuple[int, int], List[VirtualBlock]],

@@ -60,7 +60,16 @@ class DeltaBlockPacker:
         order, which recovery relies on).  Returns the packed blocks, each
         exactly ``BLOCK_SIZE`` bytes (zero padded).
         """
-        blocks: List[bytes] = []
+        return [block for block, _ in self.pack_with_records(
+            records, start_sequence=start_sequence)]
+
+    def pack_with_records(self, records: Sequence[DeltaRecord],
+                          start_sequence: int = 0
+                          ) -> List[Tuple[bytes, List[DeltaRecord]]]:
+        """:meth:`pack`, but each block is paired with the records it
+        holds — the log caches these so a ``peek_block`` right after an
+        append never re-unpacks bytes it just sealed."""
+        blocks: List[Tuple[bytes, List[DeltaRecord]]] = []
         current: List[Tuple[DeltaRecord, bytes]] = []
         used = 0
         for record in records:
@@ -71,25 +80,27 @@ class DeltaBlockPacker:
                     f"delta for lba {record.lba} ({need} B) cannot fit in "
                     f"one delta block; spill it to the SSD instead")
             if used + need > self.payload_capacity:
-                blocks.append(self._seal(current,
-                                         start_sequence + len(blocks)))
+                blocks.append((self._seal(current,
+                                          start_sequence + len(blocks)),
+                               [entry for entry, _ in current]))
                 current = []
                 used = 0
             current.append((record, blob))
             used += need
         if current:
-            blocks.append(self._seal(current, start_sequence + len(blocks)))
+            blocks.append((self._seal(current,
+                                      start_sequence + len(blocks)),
+                           [entry for entry, _ in current]))
         return blocks
 
     @staticmethod
     def _seal(entries: List[Tuple[DeltaRecord, bytes]],
               sequence: int) -> bytes:
         parts = [_BLOCK_HEADER.pack(MAGIC, sequence, len(entries))]
-        for record, blob in entries:
-            parts.append(_RECORD_HEADER.pack(record.lba, record.ref_lba,
-                                             len(blob)))
-        for _, blob in entries:
-            parts.append(blob)
+        parts.extend(_RECORD_HEADER.pack(record.lba, record.ref_lba,
+                                         len(blob))
+                     for record, blob in entries)
+        parts.extend(blob for _, blob in entries)
         packed = b"".join(parts)
         return packed + b"\x00" * (BLOCK_SIZE - len(packed))
 
@@ -150,6 +161,12 @@ class DeltaLog:
         self._next = 0
         self._sequence = 0
         self._contents: Dict[int, bytes] = {}
+        #: Per-slot unpacked-record cache, invalidated whenever a slot's
+        #: bytes change (overwrite, reset, corruption injection).  The
+        #: controller peeks freshly appended blocks and re-reads hot log
+        #: slots often enough that re-unpacking dominated host time.
+        #: Callers must treat the cached lists as immutable.
+        self._unpacked: Dict[int, List[DeltaRecord]] = {}
         self._packer = DeltaBlockPacker()
         #: Corrupted blocks the last replay skipped (set by replay()).
         self.corrupt_blocks_skipped = 0
@@ -187,11 +204,12 @@ class DeltaLog:
         """
         if not records:
             return 0.0, [], []
-        blocks = self._packer.pack(records, start_sequence=self._sequence)
+        blocks = self._packer.pack_with_records(
+            records, start_sequence=self._sequence)
         self._sequence += len(blocks)
         lbas: List[int] = []
         displaced: List[Tuple[int, DeltaRecord]] = []
-        for block in blocks:
+        for block, packed_records in blocks:
             slot = self._next
             self._next = (self._next + 1) % self.size_blocks
             if self._next == 0:
@@ -201,12 +219,13 @@ class DeltaLog:
                 try:
                     displaced.extend(
                         (slot, record)
-                        for record in self._packer.unpack(old))
+                        for record in self._cached_unpack(slot))
                 except ValueError:
                     # Overwriting a torn block loses nothing recoverable.
                     self.corrupt_blocks_skipped += 1
                     self.corrupt_blocks_total += 1
             self._contents[slot] = block
+            self._unpacked[slot] = packed_records
             lbas.append(slot)
         # One physical write covers the whole run of appended blocks when
         # they are contiguous; a wrap splits it in two.
@@ -220,7 +239,22 @@ class DeltaLog:
         set from scratch, reclaiming all stale space in one sweep.
         """
         self._contents.clear()
+        self._unpacked.clear()
         self._next = 0
+
+    def _cached_unpack(self, slot: int) -> List[DeltaRecord]:
+        """The slot's records, unpacking at most once per stored bytes.
+
+        The returned list is shared with the cache — callers iterate it,
+        never mutate it.  ``ValueError`` (corruption) propagates exactly
+        as an uncached unpack would: corruption injection invalidates
+        the slot's cache entry first.
+        """
+        records = self._unpacked.get(slot)
+        if records is None:
+            records = self._packer.unpack(self._contents[slot])
+            self._unpacked[slot] = records
+        return records
 
     def peek_block(self, slot: int) -> List[DeltaRecord]:
         """Unpack a delta block without charging device latency.
@@ -231,7 +265,7 @@ class DeltaLog:
         """
         if slot not in self._contents:
             raise KeyError(f"log slot {slot} holds no delta block")
-        return self._packer.unpack(self._contents[slot])
+        return self._cached_unpack(slot)
 
     def _write_extent(self, slots: List[int]) -> float:
         # Log appends are semantically distinct from ordinary data-region
@@ -269,7 +303,7 @@ class DeltaLog:
         finally:
             if tracer.enabled:
                 tracer.pop_name_scope()
-        return latency, self._packer.unpack(self._contents[slot])
+        return latency, self._cached_unpack(slot)
 
     def replay(self) -> Iterator[DeltaRecord]:
         """Yield every intact logged record in flush order.
@@ -312,6 +346,9 @@ class DeltaLog:
         for i in range(min(nbytes, len(blob))):
             blob[i] ^= 0xFF
         self._contents[slot] = bytes(blob)
+        # The cached records no longer match the (torn) bytes; drop them
+        # so reads observe the corruption.
+        self._unpacked.pop(slot, None)
 
     @property
     def blocks_written(self) -> int:

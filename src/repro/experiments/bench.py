@@ -33,8 +33,11 @@ from repro.workloads import ALL_WORKLOADS
 
 #: Version of the ``BENCH_<n>.json`` layout (documented in
 #: docs/OBSERVABILITY.md, doc-parity tested).  Bump on any breaking
-#: change to the keys below.
-BENCH_SCHEMA_VERSION = 1
+#: change to the keys below.  v2 added ``host_wall_s`` per case — real
+#: host seconds the run cost, recorded for trend-watching only and
+#: never compared (it is machine-dependent noise; every metric in
+#: :data:`METRIC_POLICY` stays virtual-clock deterministic).
+BENCH_SCHEMA_VERSION = 2
 
 _WORKLOADS = {cls.name: cls for cls in ALL_WORKLOADS}
 
@@ -104,8 +107,25 @@ def run_case(case: BenchCase) -> RunResult:
                          profiler=Profiler())
 
 
-def case_record(case: BenchCase, result: RunResult) -> Dict[str, object]:
-    """The JSON-ready snapshot of one case (see docs/OBSERVABILITY.md)."""
+def case_spec(case: BenchCase):
+    """The :class:`~repro.experiments.parallel.RunSpec` equivalent of
+    :func:`run_case` — same workload construction, engine, and attached
+    profiler, so the result is bit-identical wherever it executes."""
+    from repro.experiments.parallel import RunSpec
+
+    return RunSpec(workload=case.workload, system=case.system,
+                   engine=case.engine, n_requests=case.n_requests,
+                   seed=case.seed, scale=case.scale, profile=True)
+
+
+def case_record(case: BenchCase, result: RunResult,
+                host_wall_s: Optional[float] = None) -> Dict[str, object]:
+    """The JSON-ready snapshot of one case (see docs/OBSERVABILITY.md).
+
+    ``host_wall_s`` (schema v2) is the real host seconds the run took
+    where it executed; it rides along for trend analysis but is *not* a
+    compared metric — see :func:`compare`.
+    """
     metrics = {name: getattr(result, name) for name in METRIC_POLICY}
     noise: Dict[str, Dict[str, float]] = {}
     table = result.attribution
@@ -122,21 +142,36 @@ def case_record(case: BenchCase, result: RunResult) -> Dict[str, object]:
         "n_requests": case.n_requests,
         "scale": case.scale,
         "n_measured": result.n_measured,
+        "host_wall_s": host_wall_s,
         "metrics": metrics,
         "noise": noise,
         "attribution": table.to_rows() if table is not None else [],
     }
 
 
-def run_suite(quick: bool = False,
-              progress=None) -> Dict[str, object]:
-    """Run the suite and return the full ``BENCH`` document."""
+def run_suite(quick: bool = False, progress=None,
+              jobs: int = 1) -> Dict[str, object]:
+    """Run the suite and return the full ``BENCH`` document.
+
+    ``jobs > 1`` fans the (independent, deterministic) cases out across
+    worker processes; every field except the machine-dependent
+    ``host_wall_s`` is byte-identical to a serial run.
+    """
+    from repro.experiments.parallel import run_specs
+
     suite = QUICK_SUITE if quick else FULL_SUITE
-    cases: List[Dict[str, object]] = []
-    for case in suite:
-        if progress is not None:
-            progress(case)
-        cases.append(case_record(case, run_case(case)))
+    if progress is not None:
+        case_iter = iter(suite)
+
+        def spec_progress(_spec):
+            progress(next(case_iter))
+    else:
+        spec_progress = None
+    outcomes = run_specs([case_spec(case) for case in suite], jobs=jobs,
+                         progress=spec_progress)
+    cases = [case_record(case, outcome.result,
+                         host_wall_s=outcome.host_wall_s)
+             for case, outcome in zip(suite, outcomes)]
     return {
         "schema_version": BENCH_SCHEMA_VERSION,
         "suite": "quick" if quick else "full",
@@ -216,6 +251,8 @@ def compare(baseline: Dict[str, object],
     Cases present in only one document are skipped (suites may grow);
     within a shared case every metric in :data:`METRIC_POLICY` is
     checked in its good direction against the noise-aware tolerance.
+    Fields outside the policy — notably the machine-dependent
+    ``host_wall_s`` — are never compared.
     """
     base_cases = {c["case"]: c for c in baseline["cases"]}
     deltas: List[Delta] = []

@@ -85,8 +85,13 @@ def run_rate_point(workload_factory, system_name: str, rate_rps: float,
     # knee.
     result = run_benchmark(workload, system, engine="event", load=load,
                            warmup_fraction=0.0, flush_at_end=False)
+    return _point_from_result(rate_rps, result), result
+
+
+def _point_from_result(rate_rps: float, result: RunResult) -> RatePoint:
+    """Distil one run's queueing summary into a :class:`RatePoint`."""
     queueing = result.queueing
-    point = RatePoint(
+    return RatePoint(
         offered_rps=rate_rps,
         achieved_rps=result.requests_per_s,
         n_measured=result.n_measured,
@@ -101,7 +106,16 @@ def run_rate_point(workload_factory, system_name: str, rate_rps: float,
                       for name, s in queueing.stations.items()},
         station_depth={name: s.mean_depth
                        for name, s in queueing.stations.items()})
-    return point, result
+
+
+def _rate_spec(base_spec, system_name: str, rate_rps: float,
+               distribution: str, seed: int):
+    """A RunSpec reproducing :func:`run_rate_point` exactly."""
+    from dataclasses import replace
+
+    return replace(base_spec, system=system_name, engine="event",
+                   warmup_fraction=0.0, preload=True, flush_at_end=False,
+                   load=("open", rate_rps, distribution, seed))
 
 
 def calibrate_capacity(workload_factory, system_name: str) -> float:
@@ -137,11 +151,28 @@ def auto_rates(capacity_rps: float, points: int,
 def sweep_rates(workload_factory, system_name: str,
                 rates: Sequence[float],
                 distribution: str = "poisson",
-                seed: int = 1234) -> List[RatePoint]:
-    """Measure each offered rate (ascending) on a fresh system."""
+                seed: int = 1234, jobs: int = 1,
+                base_spec=None) -> List[RatePoint]:
+    """Measure each offered rate (ascending) on a fresh system.
+
+    Rate points are independent runs, so with ``jobs > 1`` *and* a
+    ``base_spec`` (a :class:`~repro.experiments.parallel.RunSpec`
+    describing the workload declaratively — factories don't pickle)
+    they fan out across worker processes; results are identical to the
+    serial path either way.
+    """
+    rates = sorted(rates)
+    if jobs > 1 and base_spec is not None:
+        from repro.experiments.parallel import run_specs
+
+        specs = [_rate_spec(base_spec, system_name, rate, distribution,
+                            seed) for rate in rates]
+        outcomes = run_specs(specs, jobs=jobs)
+        return [_point_from_result(rate, outcome.result)
+                for rate, outcome in zip(rates, outcomes)]
     return [run_rate_point(workload_factory, system_name, rate,
                            distribution=distribution, seed=seed)[0]
-            for rate in sorted(rates)]
+            for rate in rates]
 
 
 def find_knee(points: Sequence[RatePoint],
@@ -256,10 +287,21 @@ def compare_at_knee(workload_factory,
                     system_names: Sequence[str] = SYSTEM_NAMES,
                     distribution: str = "poisson",
                     seed: int = 1234,
-                    progress: bool = False) -> List[SystemKnee]:
+                    progress: bool = False,
+                    jobs: int = 1,
+                    base_spec=None) -> List[SystemKnee]:
     """Calibrate each architecture's capacity and probe both sides of
     its knee — the event-engine counterpart of the paper's Figure 6/10
-    throughput comparisons."""
+    throughput comparisons.
+
+    With ``jobs > 1`` and a declarative ``base_spec`` the work runs in
+    two parallel waves: all capacity calibrations first (the probe
+    rates depend on them), then every system's pre/post-knee probe.
+    """
+    if jobs > 1 and base_spec is not None:
+        return _compare_at_knee_parallel(base_spec, system_names,
+                                         distribution, seed, progress,
+                                         jobs)
     reports = []
     for name in system_names:
         if progress:
@@ -276,16 +318,58 @@ def compare_at_knee(workload_factory,
     return reports
 
 
+def _compare_at_knee_parallel(base_spec, system_names: Sequence[str],
+                              distribution: str, seed: int,
+                              progress: bool,
+                              jobs: int) -> List[SystemKnee]:
+    """Parallel :func:`compare_at_knee`: calibrations, then probes."""
+    from dataclasses import replace
+
+    from repro.experiments.parallel import run_specs
+
+    # Same client count calibrate_capacity derives (4x concurrency,
+    # min 16); one throwaway workload build reads the concurrency.
+    workload = base_spec.build_workload()
+    clients = max(4 * workload.io_concurrency, 16)
+    calibrations = [replace(base_spec, system=name, engine="event",
+                            warmup_fraction=0.0, preload=True,
+                            flush_at_end=False,
+                            load=("closed", clients, 0.0))
+                    for name in system_names]
+    if progress:
+        print(f"  calibrating {len(system_names)} systems "
+              f"({jobs} jobs)...", file=sys.stderr)
+    capacities = [outcome.result.requests_per_s
+                  for outcome in run_specs(calibrations, jobs=jobs)]
+    probe_specs, probe_rates = [], []
+    for name, capacity in zip(system_names, capacities):
+        for fraction in DEFAULT_SPAN:
+            rate = capacity * fraction
+            probe_specs.append(_rate_spec(base_spec, name, rate,
+                                          distribution, seed))
+            probe_rates.append(rate)
+    if progress:
+        print(f"  probing {len(probe_specs)} knee points "
+              f"({jobs} jobs)...", file=sys.stderr)
+    points = [_point_from_result(rate, outcome.result)
+              for rate, outcome in zip(probe_rates,
+                                       run_specs(probe_specs, jobs=jobs))]
+    return [SystemKnee(system=name, capacity_rps=capacity,
+                       pre_knee=points[2 * i], post_knee=points[2 * i + 1])
+            for i, (name, capacity)
+            in enumerate(zip(system_names, capacities))]
+
+
 def render_comparison(reports: Sequence[SystemKnee]) -> str:
     """Side-by-side table, best capacity first."""
     lines = [f"{'system':<10} {'capacity':>10} {'pre-knee p99':>13} "
              f"{'post-knee p99':>14} {'bottleneck':>11}"]
     ranked = sorted(reports, key=lambda r: -r.capacity_rps)
-    for r in ranked:
-        lines.append(
-            f"{r.system:<10} {r.capacity_rps:>8.0f}/s "
-            f"{r.pre_knee.p99_ms:>11.2f}ms {r.post_knee.p99_ms:>12.2f}ms "
-            f"{r.post_knee.bottleneck or '-':>11}")
+    lines.extend(
+        f"{r.system:<10} {r.capacity_rps:>8.0f}/s "
+        f"{r.pre_knee.p99_ms:>11.2f}ms {r.post_knee.p99_ms:>12.2f}ms "
+        f"{r.post_knee.bottleneck or '-':>11}"
+        for r in ranked)
     best = ranked[0]
     lines.append(f"highest capacity: {best.system} at "
                  f"{best.capacity_rps:.0f} rps")

@@ -97,6 +97,6 @@ def render_shape_check(measured: Dict[str, float],
     checks = shape_check(measured, paper)
     kept = sum(checks.values())
     lines = [f"pairwise orderings preserved: {kept}/{len(checks)}"]
-    for relation, ok in sorted(checks.items()):
-        lines.append(f"  {'ok ' if ok else 'MISS'} {relation}")
+    lines.extend(f"  {'ok ' if ok else 'MISS'} {relation}"
+                 for relation, ok in sorted(checks.items()))
     return "\n".join(lines)

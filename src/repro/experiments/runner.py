@@ -36,10 +36,10 @@ from repro.baselines.base import StorageSystem
 from repro.metrics.cpu import cpu_utilization
 from repro.metrics.energy import EnergyReport, measure_energy
 from repro.sim.engine import (EngineConfig, EventEngine,
-                              QueueingSummary, _CaptureTracer,
-                              service_items)
+                              QueueingSummary, StationSummary,
+                              _CaptureTracer, service_items)
 from repro.sim.load import default_closed_loop
-from repro.sim.profile import AttributionTable
+from repro.sim.profile import RESIDUAL_PHASE, AttributionTable
 from repro.sim.metrics import SeriesStore, SLOBreach
 from repro.sim.stats import LatencyStats
 from repro.workloads.base import Workload
@@ -146,6 +146,102 @@ class RunResult:
         monotone in what LoadSim2003's weighted-response score measures.
         """
         return self.tx_response_ms * 1e3
+
+    # -- worker transport --------------------------------------------------
+
+    def to_payload(self) -> Dict[str, object]:
+        """Plain-data snapshot for cross-process transport.
+
+        Parallel experiment workers (:mod:`repro.experiments.parallel`)
+        ship results back as payloads: scalars, nested dicts and lists
+        only — no live tracer, registry or monitor state.  The windowed
+        ``series``/``slo_breaches`` monitor products are deliberately
+        not carried (monitors are interactive-run tooling; attach them
+        to serial runs), and :meth:`from_payload` restores everything
+        else bit-identically — floats cross pickle exactly.
+        """
+        payload: Dict[str, object] = {
+            "workload": self.workload,
+            "system": self.system,
+            "n_requests": self.n_requests,
+            "n_measured": self.n_measured,
+            "n_transactions": self.n_transactions,
+            "wall_time_s": self.wall_time_s,
+            "full_wall_time_s": self.full_wall_time_s,
+            "io_time_s": self.io_time_s,
+            "app_cpu_s": self.app_cpu_s,
+            "app_cpu_busy_s": self.app_cpu_busy_s,
+            "storage_cpu_s": self.storage_cpu_s,
+            "background_s": self.background_s,
+            "io_concurrency": self.io_concurrency,
+            "read_mean_us": self.read_mean_us,
+            "write_mean_us": self.write_mean_us,
+            "read_p99_us": self.read_p99_us,
+            "write_p99_us": self.write_p99_us,
+            "ssd_write_ops": self.ssd_write_ops,
+            "ssd_write_blocks": self.ssd_write_blocks,
+            "energy": {"hdd_j": self.energy.hdd_j,
+                       "ssd_j": self.energy.ssd_j,
+                       "cpu_j": self.energy.cpu_j},
+            "counters": dict(self.counters),
+            "verified_reads": self.verified_reads,
+            "engine": self.engine,
+            "queueing": None,
+            "attribution": None,
+        }
+        if self.queueing is not None:
+            q = self.queueing
+            payload["queueing"] = {
+                "duration_s": q.duration_s,
+                "wait_mean_us": q.wait_mean_us,
+                "wait_p99_us": q.wait_p99_us,
+                "wait_max_us": q.wait_max_us,
+                "stations": {
+                    name: {"name": s.name, "slots": s.slots,
+                           "busy_s": s.busy_s,
+                           "background_s": s.background_s,
+                           "utilization": s.utilization,
+                           "served": s.served,
+                           "mean_depth": s.mean_depth,
+                           "max_depth": s.max_depth}
+                    for name, s in q.stations.items()},
+            }
+        if self.attribution is not None:
+            # Per-request (op, latency, items) in recording order,
+            # *excluding* the derived (host, other) residual item: the
+            # replay in from_payload recomputes it from the identical
+            # floats, rebuilding rows and stats bit-identically.
+            payload["attribution"] = [
+                (r.op, r.latency_s,
+                 [item for item in r.items
+                  if item[:2] != ("host", RESIDUAL_PHASE)])
+                for r in self.attribution.requests]
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, object]) -> "RunResult":
+        """Rebuild a result from :meth:`to_payload` output."""
+        data = dict(payload)
+        energy = data.pop("energy")
+        queueing = data.pop("queueing")
+        attribution = data.pop("attribution")
+        result = cls(energy=EnergyReport(**energy), **data)
+        if queueing is not None:
+            stations = {
+                name: StationSummary(**fields)
+                for name, fields in queueing["stations"].items()}
+            result.queueing = QueueingSummary(
+                duration_s=queueing["duration_s"],
+                wait_mean_us=queueing["wait_mean_us"],
+                wait_p99_us=queueing["wait_p99_us"],
+                wait_max_us=queueing["wait_max_us"],
+                stations=stations)
+        if attribution is not None:
+            table = AttributionTable()
+            for op, latency_s, items in attribution:
+                table.record_request(op, items, latency_s)
+            result.attribution = table
+        return result
 
 
 def run_benchmark(workload: Workload, system: StorageSystem,

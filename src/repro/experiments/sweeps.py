@@ -44,13 +44,32 @@ class SweepPoint:
 def sweep_config(workload_factory: Callable[[], Workload],
                  parameter: str, values: Sequence[object],
                  warmup_fraction: float = 0.4,
-                 preload: bool = True) -> List[SweepPoint]:
+                 preload: bool = True,
+                 jobs: int = 1,
+                 base_spec=None) -> List[SweepPoint]:
     """Run I-CASH once per value of one :class:`ICASHConfig` field.
 
     Each point gets a fresh workload (same seed → same trace) and a fresh
     controller built from the workload's standard configuration with
     ``parameter`` overridden.
+
+    Points are independent runs, so with ``jobs > 1`` *and* a
+    ``base_spec`` (a :class:`~repro.experiments.parallel.RunSpec`
+    describing the workload declaratively — factories don't pickle)
+    they fan out across worker processes, with results identical to the
+    serial path.
     """
+    if jobs > 1 and base_spec is not None:
+        from repro.experiments.parallel import run_specs
+
+        specs = [replace(base_spec, system="icash",
+                         warmup_fraction=warmup_fraction,
+                         preload=preload,
+                         config_overrides=((parameter, value),))
+                 for value in values]
+        outcomes = run_specs(specs, jobs=jobs)
+        return [SweepPoint(parameter, value, outcome.result)
+                for value, outcome in zip(values, outcomes)]
     points: List[SweepPoint] = []
     for value in values:
         workload = workload_factory()

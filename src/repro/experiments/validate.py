@@ -43,8 +43,8 @@ class ValidationSummary:
         lines = ["Reproduction validation", "=" * 23, "",
                  "shape scores (fraction of the paper's pairwise "
                  "orderings preserved):"]
-        for name, score in sorted(self.shape_scores.items()):
-            lines.append(f"  {name:<12} {score:6.0%}")
+        lines.extend(f"  {name:<12} {score:6.0%}"
+                     for name, score in sorted(self.shape_scores.items()))
         lines.append(f"  {'mean':<12} {self.mean_shape_score:6.0%}")
         lines.append("")
         lines.append(f"headline claims: {self.claims_held}/"

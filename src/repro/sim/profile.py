@@ -293,12 +293,12 @@ class AttributionTable:
         lines.append(f"{'device':<8} {'phase':<14} {'mean_us':>10} "
                      f"{'p50_us':>10} {'p99_us':>10} {'share':>7} "
                      f"{'hit':>6}")
-        for row in self.rows(op):
-            lines.append(
+        lines.extend(
                 f"{row.device:<8} {row.phase:<14} "
                 f"{self.row_mean_us(row):>10.2f} {row.p50_us():>10.2f} "
                 f"{row.p99_us():>10.2f} {self.share(row):>7.1%} "
-                f"{row.n_touched / n:>6.0%}")
+                f"{row.n_touched / n:>6.0%}"
+                for row in self.rows(op))
         lines.append(f"{'total':<8} {'':<14} {self.mean_us(op):>10.2f} "
                      f"{'':>10} {'':>10} {1:>7.1%}")
         blame = self.blame(op)
@@ -310,18 +310,17 @@ class AttributionTable:
         """JSON-ready rows (the ``attribution`` array of a bench case)."""
         out: List[Dict[str, object]] = []
         for op in self.ops:
-            for row in self.rows(op):
-                out.append({
-                    "op": op,
-                    "device": row.device,
-                    "phase": row.phase,
-                    "total_us": row.total_s * 1e6,
-                    "mean_us": self.row_mean_us(row),
-                    "p50_us": row.p50_us(),
-                    "p99_us": row.p99_us(),
-                    "share": self.share(row),
-                    "n_touched": row.n_touched,
-                })
+            out.extend({
+                "op": op,
+                "device": row.device,
+                "phase": row.phase,
+                "total_us": row.total_s * 1e6,
+                "mean_us": self.row_mean_us(row),
+                "p50_us": row.p50_us(),
+                "p99_us": row.p99_us(),
+                "share": self.share(row),
+                "n_touched": row.n_touched,
+            } for row in self.rows(op))
         return out
 
 

@@ -234,8 +234,8 @@ class StatsCollector:
         if title:
             lines.append(title)
             lines.append("-" * len(title))
-        for name in sorted(self._counters):
-            lines.append(f"{name:<32} {self._counters[name]:>12}")
+        lines.extend(f"{name:<32} {self._counters[name]:>12}"
+                     for name in sorted(self._counters))
         for klass in sorted(self._latencies):
             stats = self._latencies[klass]
             lines.append(

@@ -494,10 +494,10 @@ def export_chrome_trace(events: Iterable[TraceEvent],
     if header is not None:
         records.append({"ph": "M", "pid": 0, "tid": 0,
                         "name": "trace_completeness", "args": header})
-    for track, tid in _CHROME_TIDS.items():
-        records.append({"ph": "M", "pid": 0, "tid": tid,
-                        "name": "thread_name",
-                        "args": {"name": _CHROME_TRACK_NAMES[track]}})
+    records.extend({"ph": "M", "pid": 0, "tid": tid,
+                    "name": "thread_name",
+                    "args": {"name": _CHROME_TRACK_NAMES[track]}}
+                   for track, tid in _CHROME_TIDS.items())
     count = 0
     for event in events:
         args: Dict[str, object] = {}

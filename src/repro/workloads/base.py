@@ -271,9 +271,8 @@ class SyntheticWorkload(Workload):
             if start + length < self._n_blocks else None
         if is_read:
             return IORequest(OpType.READ, start, length, vm_id=self.vm_id)
-        payload: List[np.ndarray] = []
-        for lba in range(start, start + length):
-            payload.append(self._new_content(lba))
+        payload = [self._new_content(lba)
+                   for lba in range(start, start + length)]
         for offset, block in enumerate(payload):
             self._shadow[start + offset] = block
         return IORequest(OpType.WRITE, start, length, payload=payload,

@@ -36,15 +36,14 @@ class MultiVMWorkload(Workload):
         if n_vms < 1:
             raise ValueError(f"need at least one VM, got {n_vms}")
         self.n_vms = n_vms
-        self.vms: List[SyntheticWorkload] = []
-        for vm in range(n_vms):
-            # Same content seed -> identical golden image; different
-            # request seed + growing divergence -> "distinct data set and
-            # benchmark parameters" per VM.
-            self.vms.append(workload_cls(
-                scale=scale, n_requests=n_requests_per_vm,
-                seed=seed + 101 * vm, vm_id=vm, content_seed=seed,
-                image_divergence=0.01 * vm))
+        # Same content seed -> identical golden image; different request
+        # seed + growing divergence -> "distinct data set and benchmark
+        # parameters" per VM.
+        self.vms: List[SyntheticWorkload] = [
+            workload_cls(scale=scale, n_requests=n_requests_per_vm,
+                         seed=seed + 101 * vm, vm_id=vm, content_seed=seed,
+                         image_divergence=0.01 * vm)
+            for vm in range(n_vms)]
         self.vm_blocks = self.vms[0].n_blocks
         for vm in self.vms[1:]:
             if vm.n_blocks != self.vm_blocks:

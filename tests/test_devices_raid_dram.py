@@ -13,7 +13,7 @@ class TestRAID0Layout:
         raid = RAID0Array(1024, ndisks=4, chunk_blocks=16)
         per_disk = raid._split(0, 64)
         assert set(per_disk) == {0, 1, 2, 3}
-        for disk, extents in per_disk.items():
+        for extents in per_disk.values():
             assert extents == [(0, 16)]
 
     def test_split_handles_offsets_inside_chunk(self):

@@ -66,7 +66,7 @@ class TestFTL:
         for lba in range(0, 64, 2):
             ssd.write(lba, 1)
         seen = set()
-        for lba, loc in ssd._map.items():
+        for loc in ssd._map.values():
             assert loc not in seen
             seen.add(loc)
 
@@ -108,8 +108,7 @@ class TestGarbageCollection:
         ssd = small_ssd(capacity_blocks=128, overprovision=0.15)
         latencies = []
         for round_ in range(8):
-            for lba in range(128):
-                latencies.append(ssd.write(lba, 1))
+            latencies.extend(ssd.write(lba, 1) for lba in range(128))
         # Some writes stalled behind at least one erase.
         assert max(latencies) >= ssd.spec.erase_s
 

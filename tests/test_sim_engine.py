@@ -132,7 +132,7 @@ class TestEngineBehaviour:
         engine.run(wl, OpenLoopLoad(1_000_000.0, seed=3))
         summary = engine.summary()
         assert isinstance(summary, QueueingSummary)
-        for name, st_summary in summary.stations.items():
+        for st_summary in summary.stations.values():
             # Busy time can never exceed slots x elapsed.
             assert st_summary.busy_s <= \
                 summary.duration_s * st_summary.slots * (1 + 1e-9)

@@ -180,11 +180,10 @@ class TestSeriesStore:
     def test_downsampling_merges_pairs_and_preserves_totals(self):
         store = SeriesStore(max_windows=4)
         store.set_baseline({"c": 0.0}, {"c": "counter"})
-        merged_flags = []
-        for i in range(9):
-            merged_flags.append(store.append(
-                WindowSnapshot(float(i), float(i + 1),
-                               {"c": float((i + 1) * 10)})))
+        merged_flags = [
+            store.append(WindowSnapshot(float(i), float(i + 1),
+                                        {"c": float((i + 1) * 10)}))
+            for i in range(9)]
         # Two overflows: at the 5th and (after re-filling) later appends.
         assert any(merged_flags)
         assert len(store) <= 4 + 1
