@@ -22,6 +22,25 @@ from repro.workloads import ALL_WORKLOADS
 
 _WORKLOADS = {cls.name: cls for cls in ALL_WORKLOADS}
 
+#: Which document explains each subcommand.  Every subcommand's help
+#: string names its entry here (the CLI help test audits the mapping),
+#: so ``repro --help`` always points at the right doc.
+COMMAND_DOCS = {
+    "list": "README.md",
+    "figure": "EXPERIMENTS.md",
+    "profile": "docs/MODELING.md",
+    "sweep": "docs/TUNING.md",
+    "validate": "EXPERIMENTS.md",
+    "analyze": "docs/MODELING.md",
+    "run": "docs/ARCHITECTURE.md",
+    "trace": "docs/OBSERVABILITY.md",
+    "monitor": "docs/OBSERVABILITY.md",
+    "loadtest": "docs/ARCHITECTURE.md",
+    "critpath": "docs/OBSERVABILITY.md",
+    "bench": "docs/OBSERVABILITY.md",
+    "chaos": "docs/RELIABILITY.md",
+}
+
 
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -29,10 +48,13 @@ def _build_parser() -> argparse.ArgumentParser:
         description="I-CASH (HPCA 2011) reproduction harness")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list runnable figures and workloads")
+    sub.add_parser("list",
+                   help="list runnable figures and workloads "
+                        f"(see {COMMAND_DOCS['list']})")
 
     figure = sub.add_parser("figure",
-                            help="regenerate one paper figure (or 'all')")
+                            help="regenerate one paper figure (or 'all') "
+                                 f"(see {COMMAND_DOCS['figure']})")
     figure.add_argument("name", help="figure name from 'repro list', "
                                      "or 'all'")
     figure.add_argument("--requests", type=int, default=None,
@@ -44,12 +66,14 @@ def _build_parser() -> argparse.ArgumentParser:
                              "job count)")
 
     profile = sub.add_parser("profile",
-                             help="measure a workload's Table 4 profile")
+                             help="measure a workload's Table 4 profile "
+                                  f"(see {COMMAND_DOCS['profile']})")
     profile.add_argument("workload", choices=sorted(_WORKLOADS))
     profile.add_argument("--requests", type=int, default=4000)
 
     sweep = sub.add_parser("sweep",
-                           help="sweep one ICASHConfig field on SysBench")
+                           help="sweep one ICASHConfig field on SysBench "
+                                f"(see {COMMAND_DOCS['sweep']})")
     sweep.add_argument("parameter",
                        help="ICASHConfig field, e.g. scan_interval")
     sweep.add_argument("values", nargs="+",
@@ -62,19 +86,21 @@ def _build_parser() -> argparse.ArgumentParser:
 
     validate = sub.add_parser(
         "validate", help="run every figure and summarise shape scores "
-                         "and headline claims")
+                         "and headline claims "
+                         f"(see {COMMAND_DOCS['validate']})")
     validate.add_argument("--requests", type=int, default=None)
 
     analyze = sub.add_parser(
         "analyze", help="measure a workload's content locality "
-                        "(the paper's Section 2.2 claims)")
+                        "(the paper's Section 2.2 claims; see "
+                        f"{COMMAND_DOCS['analyze']})")
     analyze.add_argument("workload", choices=sorted(_WORKLOADS))
     analyze.add_argument("--requests", type=int, default=2000)
 
     run = sub.add_parser(
         "run", help="run one workload on one architecture and print the "
                     "full diagnosis (result, element status, path "
-                    "breakdowns)")
+                    f"breakdowns) (see {COMMAND_DOCS['run']})")
     run.add_argument("workload", choices=sorted(_WORKLOADS))
     run.add_argument("--system", default="icash",
                      choices=["fusion-io", "raid0", "dedup", "lru",
@@ -125,7 +151,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "loadtest", help="sweep open-loop arrival rate through the "
                          "discrete-event engine to locate the "
                          "saturation knee (throughput/latency curve, "
-                         "CSV + ASCII)")
+                         f"CSV + ASCII) (see {COMMAND_DOCS['loadtest']})")
     loadtest.add_argument("--workload", default="sysbench",
                           choices=sorted(_WORKLOADS))
     loadtest.add_argument("--system", default="icash",
@@ -208,6 +234,28 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="worker processes, one suite case each "
                             "(every compared field is identical at any "
                             "job count)")
+
+    chaos = sub.add_parser(
+        "chaos", help="run the fault-injection scenario matrix against "
+                      "the I-CASH element and judge every cell against "
+                      "its SLO breach budget; exit 1 on any FAIL "
+                      f"(see {COMMAND_DOCS['chaos']})")
+    chaos.add_argument("--quick", action="store_true",
+                       help="one scenario per fault class (the CI "
+                            "smoke set) instead of the full matrix")
+    chaos.add_argument("--requests", type=int, default=2000,
+                       help="requests per scenario run; the fault "
+                            "fires at the halfway admission")
+    chaos.add_argument("--seed", type=int, default=1234,
+                       help="fault and arrival seed — same seed, "
+                            "same verdicts, byte-identical JSONL")
+    chaos.add_argument("--scenario", nargs="+", default=None,
+                       metavar="ID",
+                       help="run only these scenario IDs "
+                            "(e.g. wearout-sysbench hddfail-tpcc)")
+    chaos.add_argument("--out", default=None, metavar="PATH",
+                       help="also write the verdicts as JSONL "
+                            "(one meta line + one line per scenario)")
     return parser
 
 
@@ -568,6 +616,30 @@ def _cmd_bench(quick: bool, out_dir: str, compare_path: Optional[str],
     return 1 if bench.regressions(deltas) else 0
 
 
+def _cmd_chaos(quick: bool, requests: int, seed: int,
+               scenario_ids: Optional[List[str]],
+               out: Optional[str]) -> int:
+    from repro.experiments import chaos
+
+    scenarios = chaos.quick_scenarios() if quick else chaos.SCENARIOS
+    if scenario_ids is not None:
+        by_id = {s.scenario_id: s for s in chaos.SCENARIOS}
+        unknown = [sid for sid in scenario_ids if sid not in by_id]
+        if unknown:
+            print(f"unknown scenario(s): {', '.join(unknown)} — known: "
+                  f"{', '.join(sorted(by_id))}", file=sys.stderr)
+            return 2
+        scenarios = tuple(by_id[sid] for sid in scenario_ids)
+    report = chaos.run_matrix(
+        scenarios, seed=seed, n_requests=requests,
+        progress=lambda msg: print(msg, file=sys.stderr))
+    print(report.render())
+    if out is not None:
+        lines = chaos.export_chaos_jsonl(report, out)
+        print(f"wrote {lines} JSONL lines to {out}")
+    return 0 if report.all_passed else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "list":
@@ -604,6 +676,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "bench":
         return _cmd_bench(args.quick, args.out_dir, args.compare,
                           args.against, args.verbose, args.jobs)
+    if args.command == "chaos":
+        return _cmd_chaos(args.quick, args.requests, args.seed,
+                          args.scenario, args.out)
     raise AssertionError(f"unhandled command {args.command}")
 
 

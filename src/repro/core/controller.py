@@ -1162,6 +1162,23 @@ class ICASHController(StorageSystem):
         """Copy of the SSD's durable content keyed by lba (recovery)."""
         return {lba: data.copy() for lba, data in self._ssd_data.items()}
 
+    def ssd_block_content(self, lba: int) -> Optional[np.ndarray]:
+        """The SSD-resident copy (reference or spill) of ``lba``, or
+        None when the block has no SSD copy.
+
+        Returns the live array, not a copy: fault injection corrupts
+        it in place and the signature scrub
+        (:func:`repro.sim.faults.scrub_references`) must observe that
+        damage.
+        """
+        return self._ssd_data.get(lba)
+
+    @property
+    def dirty_delta_count(self) -> int:
+        """Deltas awaiting a flush — the crash data-loss window of
+        Section 3.3 (what an ill-timed power loss would forget)."""
+        return len(self._dirty_delta_lbas)
+
     def delta_map_snapshot(self) -> Dict[int, Tuple[int, Optional[int]]]:
         """Durable delta metadata: lba -> (ref_lba, log_slot).
 

@@ -336,3 +336,31 @@ class FlashSSD(Device):
     def footprint_blocks(self) -> int:
         """Distinct logical blocks ever accessed."""
         return len(self._footprint)
+
+    # -- failure injection --------------------------------------------------
+
+    def wear_out(self, block_indices) -> int:
+        """Force physical blocks to the erase-count endurance limit.
+
+        Fault injection (:mod:`repro.sim.faults` ``ssd_wearout``):
+        the blocks are not removed from service — the wear-levelling GC
+        already steers away from high-erase victims, and the wear
+        report / `ssd_erase_spread` gauge make the damage observable.
+        Returns how many blocks were newly driven to the limit.
+        """
+        limit = self.spec.endurance_cycles
+        worn = 0
+        for index in block_indices:
+            block = self._blocks[index]
+            if block.erase_count < limit:
+                block.erase_count = limit
+                worn += 1
+        if worn:
+            self.stats.bump("worn_blocks", worn)
+        return worn
+
+    @property
+    def worn_blocks(self) -> int:
+        """Physical blocks at or beyond the endurance limit."""
+        limit = self.spec.endurance_cycles
+        return sum(1 for b in self._blocks if b.erase_count >= limit)

@@ -99,6 +99,10 @@ class RunResult:
     #: plain runs.  Covers the post-warmup measurement window, same as
     #: the latency statistics.
     attribution: Optional[AttributionTable] = None
+    #: Outcomes of an armed :class:`repro.sim.faults.FaultPlan`
+    #: (a :class:`repro.sim.faults.FaultReport`); None when the run
+    #: injected no faults.
+    faults: Optional[object] = None
 
     @property
     def transactions_per_s(self) -> float:
@@ -155,8 +159,9 @@ class RunResult:
         Parallel experiment workers (:mod:`repro.experiments.parallel`)
         ship results back as payloads: scalars, nested dicts and lists
         only — no live tracer, registry or monitor state.  The windowed
-        ``series``/``slo_breaches`` monitor products are deliberately
-        not carried (monitors are interactive-run tooling; attach them
+        ``series``/``slo_breaches`` monitor products and fault-report
+        objects are deliberately not carried (monitors and fault
+        injection are interactive-run tooling; attach them
         to serial runs), and :meth:`from_payload` restores everything
         else bit-identically — floats cross pickle exactly.
         """
@@ -254,7 +259,8 @@ def run_benchmark(workload: Workload, system: StorageSystem,
                   engine: str = "legacy",
                   load=None,
                   engine_config: Optional[EngineConfig] = None,
-                  profiler=None
+                  profiler=None,
+                  fault_plan=None
                   ) -> RunResult:
     """Replay ``workload`` into ``system`` and measure the run.
 
@@ -288,6 +294,12 @@ def run_benchmark(workload: Workload, system: StorageSystem,
     event engine the attribution includes exact per-station queue
     waits; under the legacy model it covers the service phases (queues
     do not exist there).
+
+    ``fault_plan`` (a :class:`repro.sim.faults.FaultPlan`) arms fault
+    injection: faults fire at their scheduled admission indices,
+    repair work competes with foreground I/O through the station
+    queues, and the outcomes land in ``RunResult.faults``.  Faults
+    need the event timeline, so this requires ``engine="event"``.
     """
     if engine not in ENGINES:
         raise ValueError(f"unknown engine {engine!r}; pick one of "
@@ -300,7 +312,12 @@ def run_benchmark(workload: Workload, system: StorageSystem,
             workload, system, verify_reads=verify_reads,
             warmup_fraction=warmup_fraction, preload=preload,
             flush_at_end=flush_at_end, tracer=tracer, monitor=monitor,
-            load=load, engine_config=engine_config, profiler=profiler)
+            load=load, engine_config=engine_config, profiler=profiler,
+            fault_plan=fault_plan)
+    if fault_plan is not None:
+        raise ValueError("fault injection needs engine='event'; the "
+                         "legacy model has no arrival timeline to "
+                         "schedule faults on (see docs/RELIABILITY.md)")
     if load is not None:
         raise ValueError("load generators need engine='event'; the "
                          "legacy model has no arrival timeline")
@@ -426,7 +443,8 @@ def _run_event_benchmark(workload: Workload, system: StorageSystem,
                          monitor,
                          load,
                          engine_config: Optional[EngineConfig],
-                         profiler=None
+                         profiler=None,
+                         fault_plan=None
                          ) -> RunResult:
     """The ``engine="event"`` half of :func:`run_benchmark`.
 
@@ -447,6 +465,14 @@ def _run_event_benchmark(workload: Workload, system: StorageSystem,
                       downstream_tracer=tracer, profiler=profiler)
     if monitor is not None:
         sim.register_metrics(monitor.registry)
+    injector = None
+    if fault_plan is not None:
+        from repro.sim.faults import FaultInjector
+
+        injector = FaultInjector(
+            fault_plan, system, sim,
+            registry=monitor.registry if monitor is not None else None)
+        sim.attach_faults(injector)
     cpu_base = system.cpu_time
     ssd_writes_base = system.ssd_write_ops
     ssd_write_blocks_base = system.ssd_write_blocks
@@ -543,7 +569,8 @@ def _run_event_benchmark(workload: Workload, system: StorageSystem,
         else [],
         engine="event",
         queueing=queueing,
-        attribution=profiler.table if profiler is not None else None)
+        attribution=profiler.table if profiler is not None else None,
+        faults=injector.report() if injector is not None else None)
 
 
 def run_grid(workload_factory, system_names,

@@ -478,11 +478,23 @@ class EventEngine:
         self._seq = 0
         self._registry = None
         self._wait_hist = None
+        #: Optional :class:`repro.sim.faults.FaultInjector` — fires
+        #: scheduled faults at admission boundaries and closes
+        #: degraded-mode windows as repair backlog drains.
+        self.faults = None
         for device in system.devices():
             self._station(getattr(device, "trace_name",
                                   getattr(device, "name", "device")))
 
     # -- stations and metrics ---------------------------------------------
+
+    def attach_faults(self, injector) -> None:
+        """Arm a :class:`repro.sim.faults.FaultInjector` for the next
+        :meth:`run`.  The injector sees every admission index (before
+        the request is processed) and every completion/background
+        event, so injected repair backlog competes with foreground I/O
+        through the same station queues."""
+        self.faults = injector
 
     def _station(self, name: str) -> DeviceStation:
         station = self.stations.get(name)
@@ -572,6 +584,8 @@ class EventEngine:
                 self._handle_bg_done(payload)
             else:
                 self._handle_complete(payload)
+        if self.faults is not None:
+            self.faults.finish(self.now)
         return self.records
 
     @property
@@ -607,6 +621,8 @@ class EventEngine:
             return
         index = len(self.records)
         self._log_event(_ARRIVAL, f"req{index}")
+        if self.faults is not None:
+            self.faults.on_admit(index)
         if self._on_admit is not None:
             self._on_admit(index)
         verified = 0
@@ -722,6 +738,8 @@ class EventEngine:
         station.note_depth(self.now)
         station.bg_active -= 1
         self._kick(station)
+        if self.faults is not None:
+            self.faults.on_event(self.now)
 
     def _handle_complete(self, job: _Job) -> None:
         record = job.record
@@ -744,6 +762,8 @@ class EventEngine:
                                          record.latency_s)
         if self._on_complete is not None:
             self._on_complete(record)
+        if self.faults is not None:
+            self.faults.on_event(self.now)
         if not self._load.open_loop:
             self._push(self.now + self._load.next_think(), _ARRIVAL,
                        None)

@@ -168,6 +168,17 @@ INSTRUMENT_CATALOGUE: Dict[str, InstrumentSpec] = {
     "device_utilization": InstrumentSpec(
         "gauge", "ratio", "station busy time / elapsed event time "
                           "(`device` label)"),
+    # fault injection (repro.sim.faults; see docs/RELIABILITY.md)
+    "faults_injected_total": InstrumentSpec(
+        "counter", "faults", "faults fired by the injector "
+                             "(`kind` label)"),
+    "rebuild_io_total": InstrumentSpec(
+        "counter", "blocks", "repair I/O injected by faults: remapped "
+                             "flash pages, RAID rebuild blocks, "
+                             "replayed log blocks, scrubbed references"),
+    "degraded_mode_seconds": InstrumentSpec(
+        "counter", "s", "event time between a fault firing and its "
+                        "repair backlog fully draining"),
 }
 
 _KINDS = ("counter", "gauge", "histogram")

@@ -70,6 +70,8 @@ EVENT_TYPES = frozenset({
     "flush",
     "scan",
     "gc",
+    # fault injection (repro.sim.faults; see docs/RELIABILITY.md)
+    "fault",
 })
 
 #: Track names: where an event sits on the timeline.

@@ -1,0 +1,46 @@
+"""Every `repro` subcommand's help text must name the doc section
+that specifies it (the COMMAND_DOCS mapping), so `--help` never
+drifts from the documentation tree again."""
+
+import argparse
+from pathlib import Path
+
+import pytest
+
+from repro.cli import COMMAND_DOCS, _build_parser
+
+ROOT = Path(__file__).resolve().parents[1]
+
+
+def subcommand_actions():
+    parser = _build_parser()
+    sub = next(a for a in parser._actions
+               if isinstance(a, argparse._SubParsersAction))
+    return sub
+
+
+class TestCommandDocs:
+    def test_mapping_covers_exactly_the_registered_commands(self):
+        sub = subcommand_actions()
+        registered = {ca.dest for ca in sub._choices_actions}
+        assert registered == set(COMMAND_DOCS)
+
+    def test_every_help_names_its_doc(self):
+        sub = subcommand_actions()
+        helps = {ca.dest: ca.help for ca in sub._choices_actions}
+        for command, doc in COMMAND_DOCS.items():
+            assert doc in helps[command], (
+                f"`repro {command}` help must cite {doc}; "
+                f"got: {helps[command]!r}")
+
+    @pytest.mark.parametrize("doc", sorted(set(COMMAND_DOCS.values())))
+    def test_cited_docs_exist(self, doc):
+        assert (ROOT / doc).is_file(), f"{doc} cited but missing"
+
+    def test_chaos_is_registered_with_expected_flags(self):
+        sub = subcommand_actions()
+        chaos_parser = sub.choices["chaos"]
+        flags = {opt for action in chaos_parser._actions
+                 for opt in action.option_strings}
+        assert {"--quick", "--requests", "--seed", "--scenario",
+                "--out"} <= flags

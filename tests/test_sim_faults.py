@@ -1,0 +1,204 @@
+"""Fault-injection layer tests: plans, each injector end-to-end on a
+live event-engine run, degraded-mode windows, instruments, and the
+runner/CLI integration."""
+
+import pytest
+
+from repro.experiments.runner import run_benchmark
+from repro.experiments.systems import make_system
+from repro.sim.engine import EventEngine
+from repro.sim.faults import (FAULT_KINDS, FaultInjector, FaultPlan,
+                              FaultSpec, scrub_references)
+from repro.sim.load import OpenLoopLoad
+from repro.sim.metrics import Monitor
+from repro.workloads import SysBenchWorkload
+
+
+def run_with_fault(kind, n_requests=600, at_request=300, seed=9,
+                   rate=3000.0, monitor=None, **knobs):
+    workload = SysBenchWorkload(n_requests=n_requests)
+    system = make_system("icash", workload)
+    plan = FaultPlan.single(kind, at_request=at_request, seed=seed,
+                            **knobs)
+    result = run_benchmark(workload, system, engine="event",
+                           load=OpenLoopLoad(rate, seed=seed),
+                           monitor=monitor, fault_plan=plan)
+    return result, system
+
+
+class TestFaultPlan:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="RELIABILITY"):
+            FaultSpec("disk_on_fire", at_request=10)
+
+    def test_bad_knobs_rejected(self):
+        with pytest.raises(ValueError):
+            FaultSpec("ssd_wearout", at_request=-1)
+        with pytest.raises(ValueError):
+            FaultSpec("ssd_wearout", at_request=0, wear_fraction=0.0)
+        with pytest.raises(ValueError):
+            FaultSpec("hdd_failure", at_request=0, rebuild_blocks=0)
+        with pytest.raises(ValueError):
+            FaultSpec("silent_corruption", at_request=0,
+                      corruption_target="ram")
+
+    def test_specs_sorted_by_admission_index(self):
+        plan = FaultPlan([FaultSpec("hdd_failure", at_request=50),
+                          FaultSpec("power_loss", at_request=10)])
+        assert [s.at_request for s in plan.specs] == [10, 50]
+
+    def test_single_builds_one_spec(self):
+        plan = FaultPlan.single("power_loss", at_request=7, seed=3)
+        assert len(plan) == 1
+        assert plan.seed == 3
+        assert plan.specs[0].kind == "power_loss"
+
+
+class TestInjectors:
+    def test_ssd_wearout_drives_blocks_to_limit(self):
+        result, system = run_with_fault("ssd_wearout",
+                                        wear_fraction=0.5)
+        outcome = result.faults.outcomes[0]
+        assert not outcome.skipped
+        assert outcome.station == "ssd"
+        assert system.ssd.worn_blocks >= 1
+        assert outcome.rebuild_blocks == \
+            system.ssd.worn_blocks * system.ssd.spec.pages_per_block
+        assert outcome.t_recovered_s is not None
+        assert outcome.degraded_s > 0.0
+
+    def test_hdd_failure_injects_rebuild_backlog(self):
+        result, _ = run_with_fault("hdd_failure", rebuild_blocks=2048)
+        outcome = result.faults.outcomes[0]
+        assert not outcome.skipped
+        assert outcome.rebuild_blocks == 2048
+        # 2048 blocks x 2 transfers at ~41 us each, drained over idle
+        # slots: the degraded window is substantial but bounded.
+        assert 0.1 < outcome.degraded_s < 10.0
+
+    def test_power_loss_reports_loss_window_and_replays(self):
+        result, system = run_with_fault("power_loss")
+        outcome = result.faults.outcomes[0]
+        assert not outcome.skipped
+        assert outcome.data_loss_window_blocks is not None
+        assert outcome.data_loss_window_blocks >= 0
+        assert system.log.replay_count >= 1
+        assert outcome.rebuild_blocks > 0
+
+    def test_reference_corruption_is_detected(self):
+        result, _ = run_with_fault("silent_corruption")
+        outcome = result.faults.outcomes[0]
+        assert outcome.detected is True
+        assert result.faults.all_detected
+
+    def test_spill_corruption_is_missed(self):
+        result, _ = run_with_fault("silent_corruption",
+                                   corruption_target="spill")
+        outcome = result.faults.outcomes[0]
+        # Spilled blocks carry no signatures: either nothing was
+        # spilled yet (skipped) or the corruption went undetected.
+        assert outcome.skipped or outcome.detected is False
+
+    def test_scrub_is_clean_without_corruption(self):
+        workload = SysBenchWorkload(n_requests=200)
+        system = make_system("icash", workload)
+        system.ingest()
+        assert scrub_references(system) == []
+
+    def test_fault_on_system_without_flash_is_skipped(self):
+        workload = SysBenchWorkload(n_requests=300)
+        system = make_system("raid0", workload)
+        plan = FaultPlan.single("ssd_wearout", at_request=100)
+        result = run_benchmark(workload, system, engine="event",
+                               load=OpenLoopLoad(2000.0, seed=1),
+                               fault_plan=plan)
+        assert result.faults.outcomes[0].skipped
+
+    def test_power_loss_on_baseline_without_log_is_skipped(self):
+        workload = SysBenchWorkload(n_requests=300)
+        system = make_system("fusion-io", workload)
+        plan = FaultPlan.single("power_loss", at_request=100)
+        result = run_benchmark(workload, system, engine="event",
+                               load=OpenLoopLoad(2000.0, seed=1),
+                               fault_plan=plan)
+        assert result.faults.outcomes[0].skipped
+
+
+class TestInstrumentsAndReport:
+    def test_counters_tick(self):
+        monitor = Monitor(interval_s=0.02)
+        result, _ = run_with_fault("hdd_failure", monitor=monitor)
+        values, kinds = {}, {}
+        registry = monitor.registry
+        registry.counter("faults_injected_total",
+                         ("kind",)).collect(values, kinds)
+        registry.counter("rebuild_io_total").collect(values, kinds)
+        registry.counter("degraded_mode_seconds").collect(values, kinds)
+        assert values['faults_injected_total{kind="hdd_failure"}'] == 1.0
+        assert values["rebuild_io_total"] == 4096.0
+        outcome = result.faults.outcomes[0]
+        assert values["degraded_mode_seconds"] == \
+            pytest.approx(outcome.degraded_s)
+
+    def test_report_aggregates(self):
+        result, _ = run_with_fault("hdd_failure")
+        report = result.faults
+        assert report.total_rebuild_blocks == 4096
+        assert report.max_recovery_s == report.outcomes[0].degraded_s
+        assert "hdd_failure" in report.render()
+
+    def test_no_plan_no_report(self):
+        workload = SysBenchWorkload(n_requests=200)
+        system = make_system("icash", workload)
+        result = run_benchmark(workload, system, engine="event",
+                               load=OpenLoopLoad(2000.0, seed=1))
+        assert result.faults is None
+
+    def test_legacy_engine_rejects_fault_plan(self):
+        workload = SysBenchWorkload(n_requests=200)
+        system = make_system("icash", workload)
+        with pytest.raises(ValueError, match="event"):
+            run_benchmark(workload, system,
+                          fault_plan=FaultPlan.single(
+                              "power_loss", at_request=10))
+
+
+class TestEventLogIntegration:
+    def run_logged(self, seed=7):
+        workload = SysBenchWorkload(n_requests=500)
+        system = make_system("icash", workload)
+        system.ingest()
+        engine = EventEngine(system, keep_event_log=True)
+        plan = FaultPlan([FaultSpec("hdd_failure", at_request=200),
+                          FaultSpec("ssd_wearout", at_request=300)],
+                         seed=seed)
+        injector = FaultInjector(plan, system, engine)
+        engine.attach_faults(injector)
+        engine.run(workload, OpenLoopLoad(2500.0, seed=11))
+        return engine.event_log, injector.report()
+
+    def test_faults_appear_in_event_log(self):
+        log, _ = self.run_logged()
+        fault_entries = [label for _t, action, label in log
+                         if action == "fault"]
+        assert "hdd_failure:injected" in fault_entries
+        assert "ssd_wearout:injected" in fault_entries
+        assert "hdd_failure:recovered" in fault_entries
+
+    def test_same_seed_identical_event_log_and_report(self):
+        log_a, report_a = self.run_logged()
+        log_b, report_b = self.run_logged()
+        assert log_a == log_b
+        keys_a = [(o.kind, o.t_injected_s, o.t_recovered_s,
+                   o.rebuild_blocks, o.detail)
+                  for o in report_a.outcomes]
+        keys_b = [(o.kind, o.t_injected_s, o.t_recovered_s,
+                   o.rebuild_blocks, o.detail)
+                  for o in report_b.outcomes]
+        assert keys_a == keys_b
+
+
+class TestKindCoverage:
+    @pytest.mark.parametrize("kind", FAULT_KINDS)
+    def test_every_kind_has_an_injector(self, kind):
+        assert hasattr(FaultInjector, f"_inject_{kind}")
