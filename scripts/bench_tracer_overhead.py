@@ -17,7 +17,12 @@ Runs the same SysBench replay on the I-CASH element five ways:
 * ``profile`` — the event engine with a recording ``Profiler``
   (per-request ``(device, phase)`` attribution); compare against
   ``event`` for the profiler's own cost, and note that ``null`` (the
-  ``NULL_PROFILER`` default) is the profiler-disabled case.
+  ``NULL_PROFILER`` default) is the profiler-disabled case,
+* ``ledger`` — the legacy run plus one ``LedgerWriter.record`` into a
+  throwaway store (provenance capture, metric snapshot, SQLite insert
+  and JSONL append); ``null`` (the ``NULL_LEDGER`` default) is the
+  ledger-disabled case.  This is a *per-run* cost, not per-request —
+  it does not grow with ``--requests``.
 
 Prints median wall-clock over ``--repeats`` runs and the overhead of
 each mode relative to ``null``.  The numbers quoted in the tracer and
@@ -31,6 +36,7 @@ from __future__ import annotations
 
 import argparse
 import os
+import shutil
 import statistics
 import sys
 import tempfile
@@ -40,6 +46,7 @@ sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
 from repro.experiments.runner import run_benchmark  # noqa: E402
 from repro.experiments.systems import make_system  # noqa: E402
+from repro.ledger import LedgerWriter  # noqa: E402
 from repro.sim.metrics import Monitor  # noqa: E402
 from repro.sim.profile import Profiler  # noqa: E402
 from repro.sim.trace import (RingBufferTracer,  # noqa: E402
@@ -54,14 +61,20 @@ def one_run(n_requests: int, mode: str) -> float:
     monitor = Monitor(interval_s=0.01) if mode == "monitor" else None
     profiler = Profiler() if mode == "profile" else None
     engine = "event" if mode in ("event", "profile") else "legacy"
+    ledger = None
+    if mode == "ledger":
+        store_dir = tempfile.mkdtemp(prefix="repro-ledger-bench-")
+        ledger = LedgerWriter(root=store_dir)
     started = time.perf_counter()
     run_benchmark(workload, system, tracer=tracer, monitor=monitor,
-                  engine=engine, profiler=profiler)
+                  engine=engine, profiler=profiler, ledger=ledger)
     if mode == "ring+chrome":
         with tempfile.NamedTemporaryFile("w", suffix=".json",
                                          delete=True) as handle:
             export_chrome_trace(tracer.events, handle)
     elapsed = time.perf_counter() - started
+    if mode == "ledger":
+        shutil.rmtree(store_dir, ignore_errors=True)
     if tracer is not None and tracer.dropped:
         print(f"  warning: {tracer.dropped} events dropped", file=sys.stderr)
     return elapsed
@@ -74,7 +87,7 @@ def main() -> int:
     args = parser.parse_args()
 
     modes = ("null", "ring", "ring+chrome", "monitor", "event",
-             "profile")
+             "profile", "ledger")
     medians = {}
     for mode in modes:
         times = [one_run(args.requests, mode)

@@ -39,7 +39,20 @@ COMMAND_DOCS = {
     "critpath": "docs/OBSERVABILITY.md",
     "bench": "docs/OBSERVABILITY.md",
     "chaos": "docs/RELIABILITY.md",
+    "ledger": "docs/LEDGER.md",
 }
+
+#: ``repro ledger`` subcommands (doc-parity tested against the table
+#: in docs/LEDGER.md).
+LEDGER_SUBCOMMANDS = ("list", "show", "diff", "trend", "verify",
+                      "prune", "export")
+
+
+def _add_no_ledger(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--no-ledger", action="store_true",
+                        help="skip recording this invocation in the "
+                             "persistent run ledger (docs/LEDGER.md); "
+                             "REPRO_LEDGER=0 does the same globally")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -64,6 +77,7 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="worker processes for the grid runs behind "
                              "the figures (results are identical at any "
                              "job count)")
+    _add_no_ledger(figure)
 
     profile = sub.add_parser("profile",
                              help="measure a workload's Table 4 profile "
@@ -83,6 +97,7 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--jobs", type=int, default=1,
                        help="worker processes, one sweep point each "
                             "(results are identical at any job count)")
+    _add_no_ledger(sweep)
 
     validate = sub.add_parser(
         "validate", help="run every figure and summarise shape scores "
@@ -108,6 +123,7 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--requests", type=int, default=6000)
     run.add_argument("--verify", action="store_true",
                      help="verify every read against the shadow copy")
+    _add_no_ledger(run)
 
     trace = sub.add_parser(
         "trace", help="run one workload under the tracer and write a "
@@ -146,6 +162,7 @@ def _build_parser() -> argparse.ArgumentParser:
     monitor.add_argument("--max-windows", type=int, default=256,
                          help="series store capacity; beyond it adjacent "
                               "windows merge (downsampling)")
+    _add_no_ledger(monitor)
 
     loadtest = sub.add_parser(
         "loadtest", help="sweep open-loop arrival rate through the "
@@ -183,6 +200,7 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="worker processes across rate points / "
                                "architectures (results are identical "
                                "at any job count)")
+    _add_no_ledger(loadtest)
 
     critpath = sub.add_parser(
         "critpath", help="run one workload under the simulated-time "
@@ -234,6 +252,12 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="worker processes, one suite case each "
                             "(every compared field is identical at any "
                             "job count)")
+    bench.add_argument("--seed", type=int, default=None,
+                       help="override every case's fixed seed — for "
+                            "seed-sensitivity probes feeding 'repro "
+                            "ledger diff', not for --compare against "
+                            "the committed baseline")
+    _add_no_ledger(bench)
 
     chaos = sub.add_parser(
         "chaos", help="run the fault-injection scenario matrix against "
@@ -256,6 +280,68 @@ def _build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--out", default=None, metavar="PATH",
                        help="also write the verdicts as JSONL "
                             "(one meta line + one line per scenario)")
+    _add_no_ledger(chaos)
+
+    ledger = sub.add_parser(
+        "ledger", help="inspect the persistent run ledger: list, "
+                       "show, diff (with provenance hints), sparkline "
+                       "trends with anomaly detection, integrity "
+                       "verify, retention prune and JSONL export "
+                       f"(see {COMMAND_DOCS['ledger']})")
+    lsub = ledger.add_subparsers(dest="ledger_command", required=True)
+
+    def _ledger_sub(name: str, help_text: str):
+        sub_parser = lsub.add_parser(name, help=help_text)
+        sub_parser.add_argument("--dir", default=None,
+                                help="ledger directory (default: "
+                                     "REPRO_LEDGER_DIR or "
+                                     ".repro-ledger)")
+        return sub_parser
+
+    l_list = _ledger_sub("list", "newest recorded runs")
+    l_list.add_argument("--last", type=int, default=20,
+                        help="show at most this many newest rows")
+    l_list.add_argument("--filter", action="append", default=None,
+                        metavar="KEY=VALUE",
+                        help="restrict to matching rows (command/"
+                             "workload/system/engine/seed); repeatable")
+    l_show = _ledger_sub("show", "one full row as JSON")
+    l_show.add_argument("ref", help="seq number or run-id prefix")
+    l_diff = _ledger_sub("diff", "field-level diff of two runs with "
+                                 "provenance hints")
+    l_diff.add_argument("ref_a", help="seq number or run-id prefix")
+    l_diff.add_argument("ref_b", help="seq number or run-id prefix")
+    l_trend = _ledger_sub("trend", "sparkline history of one metric "
+                                   "with rolling-window anomaly "
+                                   "detection")
+    l_trend.add_argument("metric",
+                         help="scalar name (e.g. read_p99_us), "
+                              "counters.<name>, or slo.breaches")
+    l_trend.add_argument("--filter", action="append", default=None,
+                         metavar="KEY=VALUE",
+                         help="restrict to matching rows; repeatable")
+    l_trend.add_argument("--last", type=int, default=50,
+                         help="trend over at most this many newest "
+                              "matching rows")
+    l_trend.add_argument("--window", type=int, default=None,
+                         help="rolling history window per point "
+                              "(default: 8)")
+    _ledger_sub("verify", "integrity check: schema version, content-"
+                          "hash run ids, row/export parity; exit 1 "
+                          "on any issue")
+    l_prune = _ledger_sub("prune", "drop all but the newest N rows "
+                                   "and rewrite the export")
+    l_prune.add_argument("--keep", type=int, required=True,
+                         help="rows to retain")
+    l_export = _ledger_sub("export", "rewrite the JSONL export from "
+                                     "the database")
+    l_export.add_argument("--out", default=None,
+                          help="write here instead of the store's "
+                               "export.jsonl")
+    l_export.add_argument("--canonical", action="store_true",
+                          help="drop the volatile sub-object (byte-"
+                               "identical across hosts and job "
+                               "counts)")
     return parser
 
 
@@ -266,6 +352,14 @@ def _parse_value(text: str):
         except ValueError:
             continue
     return text
+
+
+def _ledger_note(ledger) -> None:
+    """One closing line saying where the run(s) were recorded."""
+    if getattr(ledger, "enabled", False) and ledger.recorded:
+        noun = "run" if ledger.recorded == 1 else "runs"
+        print(f"ledger: recorded {ledger.recorded} {noun} -> "
+              f"{ledger.root} (inspect with 'repro ledger list')")
 
 
 def _cmd_list() -> int:
@@ -281,7 +375,7 @@ def _cmd_list() -> int:
 
 
 def _cmd_figure(name: str, requests: Optional[int],
-                jobs: int = 1) -> int:
+                jobs: int = 1, ledger=None) -> int:
     names = (list(figures_module.ALL_FIGURES)
              if name == "all" else [name])
     unknown = [n for n in names if n not in figures_module.ALL_FIGURES]
@@ -315,8 +409,10 @@ def _cmd_figure(name: str, requests: Optional[int],
         if n_req is not None:
             kwargs["n_requests"] = n_req
         result = fn(**kwargs)
+        figures_module.record_figure(ledger, result)
         print(result.render())
         print()
+    _ledger_note(ledger)
     return 0
 
 
@@ -330,7 +426,7 @@ def _cmd_profile(workload_name: str, requests: int) -> int:
 
 
 def _cmd_sweep(parameter: str, raw_values: List[str],
-               requests: int, jobs: int = 1) -> int:
+               requests: int, jobs: int = 1, ledger=None) -> int:
     from repro.experiments.parallel import RunSpec
     from repro.workloads import SysBenchWorkload
 
@@ -339,11 +435,13 @@ def _cmd_sweep(parameter: str, raw_values: List[str],
         points = sweep_config(
             lambda: SysBenchWorkload(n_requests=requests),
             parameter, values, jobs=jobs,
-            base_spec=RunSpec(workload="sysbench", n_requests=requests))
+            base_spec=RunSpec(workload="sysbench", n_requests=requests),
+            ledger=ledger)
     except TypeError as error:
         print(f"bad parameter {parameter!r}: {error}", file=sys.stderr)
         return 2
     print(render_sweep(points))
+    _ledger_note(ledger)
     return 0
 
 
@@ -372,13 +470,16 @@ def _cmd_analyze(workload_name: str, requests: int) -> int:
 
 
 def _cmd_run(workload_name: str, system_name: str, requests: int,
-             verify: bool) -> int:
+             verify: bool, ledger=None) -> int:
     from repro.experiments.runner import run_benchmark
     from repro.experiments.systems import make_system
 
     workload = _WORKLOADS[workload_name](n_requests=requests)
     system = make_system(system_name, workload)
     result = run_benchmark(workload, system, verify_reads=verify)
+    if getattr(ledger, "enabled", False):
+        ledger.record(result, command="run",
+                      spec={"seed": getattr(workload, "seed", None)})
     print(f"{workload_name} on {system_name}: "
           f"{result.transactions_per_s:.1f} tx/s, "
           f"read {result.read_mean_us:.1f} us "
@@ -400,6 +501,7 @@ def _cmd_run(workload_name: str, system_name: str, requests: int,
         print(write_breakdown(system).render())
         print(f"\nreads served without mechanical I/O: "
               f"{semiconductor_fraction(system):.1%}")
+    _ledger_note(ledger)
     return 0
 
 
@@ -445,7 +547,7 @@ def _cmd_trace(workload_name: str, system_name: str, requests: int,
 
 def _cmd_monitor(workload_name: str, system_name: str, requests: int,
                  interval_s: float, out_dir: str,
-                 max_windows: int) -> int:
+                 max_windows: int, ledger=None) -> int:
     import os
 
     from repro.experiments.runner import run_benchmark
@@ -456,7 +558,11 @@ def _cmd_monitor(workload_name: str, system_name: str, requests: int,
     workload = _WORKLOADS[workload_name](n_requests=requests)
     system = make_system(system_name, workload)
     monitor = Monitor(interval_s=interval_s, max_windows=max_windows)
-    run_benchmark(workload, system, monitor=monitor)
+    result = run_benchmark(workload, system, monitor=monitor)
+    if getattr(ledger, "enabled", False):
+        ledger.record(result, command="monitor",
+                      spec={"seed": getattr(workload, "seed", None)},
+                      extra={"interval_s": interval_s})
 
     os.makedirs(out_dir, exist_ok=True)
     csv_path = os.path.join(out_dir, "series.csv")
@@ -486,6 +592,7 @@ def _cmd_monitor(workload_name: str, system_name: str, requests: int,
         print("warning: windowed series disagree with run-end "
               "statistics", file=sys.stderr)
         return 1
+    _ledger_note(ledger)
     return 0
 
 
@@ -493,7 +600,7 @@ def _cmd_loadtest(workload_name: str, system_name: str, requests: int,
                   points: int, span: Optional[List[float]],
                   rates: Optional[List[float]], distribution: str,
                   seed: int, csv_path: Optional[str],
-                  compare: bool, jobs: int = 1) -> int:
+                  compare: bool, jobs: int = 1, ledger=None) -> int:
     from repro.experiments import loadtest
     from repro.experiments.parallel import RunSpec
 
@@ -507,8 +614,10 @@ def _cmd_loadtest(workload_name: str, system_name: str, requests: int,
               f"({workload_name}, {requests} requests/run)...")
         reports = loadtest.compare_at_knee(
             workload_factory, distribution=distribution, seed=seed,
-            progress=True, jobs=jobs, base_spec=base_spec)
+            progress=True, jobs=jobs, base_spec=base_spec,
+            ledger=ledger)
         print(loadtest.render_comparison(reports))
+        _ledger_note(ledger)
         return 0
 
     if rates is not None:
@@ -517,7 +626,8 @@ def _cmd_loadtest(workload_name: str, system_name: str, requests: int,
               f"{len(sweep)} explicit rates ({distribution} arrivals)")
     else:
         capacity = loadtest.calibrate_capacity(workload_factory,
-                                               system_name)
+                                               system_name,
+                                               ledger=ledger)
         span_t = tuple(span) if span is not None \
             else loadtest.DEFAULT_SPAN
         sweep = loadtest.auto_rates(capacity, points, span=span_t)
@@ -527,12 +637,14 @@ def _cmd_loadtest(workload_name: str, system_name: str, requests: int,
               f"({distribution} arrivals)")
     curve = loadtest.sweep_rates(workload_factory, system_name, sweep,
                                  distribution=distribution, seed=seed,
-                                 jobs=jobs, base_spec=base_spec)
+                                 jobs=jobs, base_spec=base_spec,
+                                 ledger=ledger)
     print()
     print(loadtest.render_curve(curve))
     if csv_path is not None:
         rows = loadtest.export_curve_csv(curve, csv_path)
         print(f"\nwrote {rows} sweep rows to {csv_path}")
+    _ledger_note(ledger)
     return 0
 
 
@@ -586,7 +698,8 @@ def _cmd_critpath(workload_name: str, system_name: str, requests: int,
 
 def _cmd_bench(quick: bool, out_dir: str, compare_path: Optional[str],
                against: Optional[str], verbose: bool,
-               jobs: int = 1) -> int:
+               jobs: int = 1, ledger=None,
+               seed: Optional[int] = None) -> int:
     from repro.experiments import bench
 
     if against is not None and compare_path is None:
@@ -601,11 +714,12 @@ def _cmd_bench(quick: bool, out_dir: str, compare_path: Optional[str],
         workers = f" ({jobs} jobs)" if jobs > 1 else ""
         print(f"running {suite} suite{workers}...")
         current = bench.run_suite(
-            quick=quick, jobs=jobs,
+            quick=quick, jobs=jobs, ledger=ledger, seed=seed,
             progress=lambda case: print(f"  {case.case}"))
         path = bench.write_bench(current, out_dir)
         print(f"wrote {path} (schema v{current['schema_version']}, "
               f"{len(current['cases'])} cases)")
+        _ledger_note(ledger)
 
     if compare_path is None:
         return 0
@@ -618,7 +732,7 @@ def _cmd_bench(quick: bool, out_dir: str, compare_path: Optional[str],
 
 def _cmd_chaos(quick: bool, requests: int, seed: int,
                scenario_ids: Optional[List[str]],
-               out: Optional[str]) -> int:
+               out: Optional[str], ledger=None) -> int:
     from repro.experiments import chaos
 
     scenarios = chaos.quick_scenarios() if quick else chaos.SCENARIOS
@@ -632,53 +746,126 @@ def _cmd_chaos(quick: bool, requests: int, seed: int,
         scenarios = tuple(by_id[sid] for sid in scenario_ids)
     report = chaos.run_matrix(
         scenarios, seed=seed, n_requests=requests,
-        progress=lambda msg: print(msg, file=sys.stderr))
+        progress=lambda msg: print(msg, file=sys.stderr),
+        ledger=ledger)
     print(report.render())
     if out is not None:
         lines = chaos.export_chaos_jsonl(report, out)
         print(f"wrote {lines} JSONL lines to {out}")
+    _ledger_note(ledger)
     return 0 if report.all_passed else 1
+
+
+def _cmd_ledger(args) -> int:
+    import os
+
+    from repro import ledger as ledger_module
+
+    root = args.dir or ledger_module.default_root()
+    db_path = os.path.join(root, ledger_module.DB_NAME)
+    if not os.path.exists(db_path):
+        print(f"no ledger at {db_path} — any recorded invocation "
+              f"(e.g. 'repro bench --quick') creates one",
+              file=sys.stderr)
+        return 2
+    try:
+        store = ledger_module.LedgerWriter(root)
+        if args.ledger_command == "list":
+            filters = ledger_module.parse_filters(args.filter)
+            rows = store.rows(filters or None, last=args.last)
+            print(ledger_module.render_rows(rows))
+            return 0
+        if args.ledger_command == "show":
+            print(ledger_module.render_row(store.get(args.ref)))
+            return 0
+        if args.ledger_command == "diff":
+            print(store.diff(args.ref_a, args.ref_b).render())
+            return 0
+        if args.ledger_command == "trend":
+            filters = ledger_module.parse_filters(args.filter)
+            kwargs = ({} if args.window is None
+                      else {"window": args.window})
+            report = store.trend(args.metric, filters or None,
+                                 last=args.last, **kwargs)
+            print(report.render())
+            return 0
+        if args.ledger_command == "verify":
+            issues = store.verify()
+            for issue in issues:
+                print(f"FAIL: {issue}", file=sys.stderr)
+            if issues:
+                return 1
+            print(f"ok: {store.count()} row(s), every run id matches "
+                  f"its content, export in sync")
+            return 0
+        if args.ledger_command == "prune":
+            removed = store.prune(args.keep)
+            print(f"pruned {removed} row(s); {store.count()} remain, "
+                  f"export rewritten")
+            return 0
+        if args.ledger_command == "export":
+            path = args.out or store.export_path
+            count = store.export(args.out, canonical=args.canonical)
+            form = " (canonical)" if args.canonical else ""
+            print(f"wrote {count} row(s) to {path}{form}")
+            return 0
+    except (KeyError, ValueError) as error:
+        message = error.args[0] if error.args else error
+        print(message, file=sys.stderr)
+        return 2
+    raise AssertionError(
+        f"unhandled ledger subcommand {args.ledger_command}")
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
+    ledger = None
+    if hasattr(args, "no_ledger"):
+        from repro.ledger import default_ledger
+
+        ledger = default_ledger(args.no_ledger)
     if args.command == "list":
         return _cmd_list()
     if args.command == "figure":
-        return _cmd_figure(args.name, args.requests, args.jobs)
+        return _cmd_figure(args.name, args.requests, args.jobs,
+                           ledger=ledger)
     if args.command == "profile":
         return _cmd_profile(args.workload, args.requests)
     if args.command == "sweep":
         return _cmd_sweep(args.parameter, args.values, args.requests,
-                          args.jobs)
+                          args.jobs, ledger=ledger)
     if args.command == "validate":
         return _cmd_validate(args.requests)
     if args.command == "analyze":
         return _cmd_analyze(args.workload, args.requests)
     if args.command == "run":
         return _cmd_run(args.workload, args.system, args.requests,
-                        args.verify)
+                        args.verify, ledger=ledger)
     if args.command == "trace":
         return _cmd_trace(args.workload, args.system, args.requests,
                           args.out, args.buffer)
     if args.command == "monitor":
         return _cmd_monitor(args.workload, args.system, args.requests,
-                            args.interval, args.out_dir, args.max_windows)
+                            args.interval, args.out_dir,
+                            args.max_windows, ledger=ledger)
     if args.command == "loadtest":
         return _cmd_loadtest(args.workload, args.system, args.requests,
                              args.points, args.span, args.rates,
                              args.distribution, args.seed, args.csv,
-                             args.compare, args.jobs)
+                             args.compare, args.jobs, ledger=ledger)
     if args.command == "critpath":
         return _cmd_critpath(args.workload, args.system, args.requests,
                              args.engine, args.rate, args.seed,
                              args.folded)
     if args.command == "bench":
         return _cmd_bench(args.quick, args.out_dir, args.compare,
-                          args.against, args.verbose, args.jobs)
+                          args.against, args.verbose, args.jobs,
+                          ledger=ledger, seed=args.seed)
     if args.command == "chaos":
         return _cmd_chaos(args.quick, args.requests, args.seed,
-                          args.scenario, args.out)
+                          args.scenario, args.out, ledger=ledger)
+    if args.command == "ledger":
+        return _cmd_ledger(args)
     raise AssertionError(f"unhandled command {args.command}")
 
 

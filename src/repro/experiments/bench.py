@@ -23,7 +23,7 @@ from __future__ import annotations
 import json
 import math
 import os
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.experiments.runner import RunResult, run_benchmark
@@ -36,8 +36,11 @@ from repro.workloads import ALL_WORKLOADS
 #: change to the keys below.  v2 added ``host_wall_s`` per case — real
 #: host seconds the run cost, recorded for trend-watching only and
 #: never compared (it is machine-dependent noise; every metric in
-#: :data:`METRIC_POLICY` stays virtual-clock deterministic).
-BENCH_SCHEMA_VERSION = 2
+#: :data:`METRIC_POLICY` stays virtual-clock deterministic).  v3 adds
+#: ``ledger_run_id`` per case — the run's row in the persistent run
+#: ledger (docs/LEDGER.md) when one was recording, else null; like
+#: ``host_wall_s`` it is provenance, never a compared metric.
+BENCH_SCHEMA_VERSION = 3
 
 _WORKLOADS = {cls.name: cls for cls in ALL_WORKLOADS}
 
@@ -119,12 +122,16 @@ def case_spec(case: BenchCase):
 
 
 def case_record(case: BenchCase, result: RunResult,
-                host_wall_s: Optional[float] = None) -> Dict[str, object]:
+                host_wall_s: Optional[float] = None,
+                ledger_run_id: Optional[str] = None
+                ) -> Dict[str, object]:
     """The JSON-ready snapshot of one case (see docs/OBSERVABILITY.md).
 
     ``host_wall_s`` (schema v2) is the real host seconds the run took
     where it executed; it rides along for trend analysis but is *not* a
-    compared metric — see :func:`compare`.
+    compared metric — see :func:`compare`.  ``ledger_run_id`` (schema
+    v3) links the case to its row in the persistent run ledger
+    (docs/LEDGER.md) — provenance, likewise never compared.
     """
     metrics = {name: getattr(result, name) for name in METRIC_POLICY}
     noise: Dict[str, Dict[str, float]] = {}
@@ -143,6 +150,7 @@ def case_record(case: BenchCase, result: RunResult,
         "scale": case.scale,
         "n_measured": result.n_measured,
         "host_wall_s": host_wall_s,
+        "ledger_run_id": ledger_run_id,
         "metrics": metrics,
         "noise": noise,
         "attribution": table.to_rows() if table is not None else [],
@@ -150,16 +158,28 @@ def case_record(case: BenchCase, result: RunResult,
 
 
 def run_suite(quick: bool = False, progress=None,
-              jobs: int = 1) -> Dict[str, object]:
+              jobs: int = 1, ledger=None,
+              seed: Optional[int] = None) -> Dict[str, object]:
     """Run the suite and return the full ``BENCH`` document.
 
     ``jobs > 1`` fans the (independent, deterministic) cases out across
     worker processes; every field except the machine-dependent
     ``host_wall_s`` is byte-identical to a serial run.
+
+    ``ledger`` (a :class:`repro.ledger.LedgerWriter`) records every
+    case into the persistent run store — always in suite order, in
+    *this* process, so ledger contents too are independent of the job
+    count — and each case record embeds its ``ledger_run_id``.
+
+    ``seed`` replaces each case's fixed seed — for seed-sensitivity
+    probes feeding ``repro ledger diff``, *not* for ``--compare``
+    (a non-default seed moves every metric off the committed baseline).
     """
     from repro.experiments.parallel import run_specs
 
     suite = QUICK_SUITE if quick else FULL_SUITE
+    if seed is not None:
+        suite = tuple(replace(case, seed=seed) for case in suite)
     if progress is not None:
         case_iter = iter(suite)
 
@@ -169,12 +189,22 @@ def run_suite(quick: bool = False, progress=None,
         spec_progress = None
     outcomes = run_specs([case_spec(case) for case in suite], jobs=jobs,
                          progress=spec_progress)
-    cases = [case_record(case, outcome.result,
-                         host_wall_s=outcome.host_wall_s)
-             for case, outcome in zip(suite, outcomes)]
+    recording = ledger is not None and getattr(ledger, "enabled", False)
+    suite_name = "quick" if quick else "full"
+    cases = []
+    for case, outcome in zip(suite, outcomes):
+        run_id = None
+        if recording:
+            run_id = ledger.record(
+                outcome.result, command="bench", spec=case_spec(case),
+                extra={"case": case.case, "suite": suite_name},
+                host_wall_s=outcome.host_wall_s)
+        cases.append(case_record(case, outcome.result,
+                                 host_wall_s=outcome.host_wall_s,
+                                 ledger_run_id=run_id))
     return {
         "schema_version": BENCH_SCHEMA_VERSION,
-        "suite": "quick" if quick else "full",
+        "suite": suite_name,
         "cases": cases,
     }
 

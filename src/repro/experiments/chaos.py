@@ -224,12 +224,17 @@ def _workload_factory(name: str, n_requests: int):
 
 def run_scenario(scenario: ChaosScenario, seed: int = 1234,
                  n_requests: int = 2000,
-                 capacity_rps: Optional[float] = None) -> ChaosVerdict:
+                 capacity_rps: Optional[float] = None,
+                 ledger=None) -> ChaosVerdict:
     """Run one scenario and judge it.
 
     ``capacity_rps`` skips the calibration run when the caller already
     measured this workload's saturation rate (``run_matrix`` caches it
     per workload column).
+
+    ``ledger`` (a :class:`repro.ledger.LedgerWriter`) records the
+    scenario's run — provenance, metric snapshot, fault outcomes —
+    plus the verdict under ``command="chaos"``.
     """
     factory = _workload_factory(scenario.workload, n_requests)
     if capacity_rps is None:
@@ -270,7 +275,7 @@ def run_scenario(scenario: ChaosScenario, seed: int = 1234,
     if scenario.must_detect and not outcome.detected:
         passed = False
         notes.append("corruption NOT detected")
-    return ChaosVerdict(
+    verdict = ChaosVerdict(
         scenario_id=scenario.scenario_id,
         fault_kind=scenario.fault_kind,
         workload=scenario.workload,
@@ -284,11 +289,21 @@ def run_scenario(scenario: ChaosScenario, seed: int = 1234,
         loss_window_blocks=outcome.data_loss_window_blocks,
         detected=outcome.detected,
         notes="; ".join(notes))
+    if ledger is not None and getattr(ledger, "enabled", False):
+        ledger.record(
+            result, command="chaos",
+            spec={"seed": seed},
+            extra={"scenario": scenario.scenario_id,
+                   "fault_kind": scenario.fault_kind,
+                   "passed": verdict.passed,
+                   "breaches": verdict.breaches,
+                   "recovery_s": round(verdict.recovery_s, 9)})
+    return verdict
 
 
 def run_matrix(scenarios: Sequence[ChaosScenario] = SCENARIOS,
                seed: int = 1234, n_requests: int = 2000,
-               progress=None) -> ChaosReport:
+               progress=None, ledger=None) -> ChaosReport:
     """Run a scenario set; calibration is cached per workload column."""
     capacity_cache: Dict[str, float] = {}
     verdicts: List[ChaosVerdict] = []
@@ -301,7 +316,8 @@ def run_matrix(scenarios: Sequence[ChaosScenario] = SCENARIOS,
             progress(f"chaos: {scenario.scenario_id} ...")
         verdicts.append(run_scenario(
             scenario, seed=seed, n_requests=n_requests,
-            capacity_rps=capacity_cache[scenario.workload]))
+            capacity_rps=capacity_cache[scenario.workload],
+            ledger=ledger))
     return ChaosReport(seed=seed, n_requests=n_requests,
                        verdicts=verdicts)
 

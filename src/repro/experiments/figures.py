@@ -69,6 +69,29 @@ class FigureResult:
         return f"{header}\n{bars}"
 
 
+def record_figure(ledger, result: FigureResult,
+                  seed: int = DEFAULT_SEED) -> int:
+    """Append a figure's per-system runs to the run ledger.
+
+    One row per architecture under ``command="figure"`` with the
+    figure name in ``extra`` — so trends can filter one system out of
+    one figure's history.  Duck-typed; the None / NULL_LEDGER default
+    records nothing.  Returns the number of rows appended.
+    """
+    if ledger is None or not getattr(ledger, "enabled", False):
+        return 0
+    recorded = 0
+    for system, run in sorted(result.runs.items()):
+        ledger.record(run, command="figure",
+                      spec={"seed": seed,
+                            "warmup_fraction": DEFAULT_WARMUP},
+                      extra={"figure": result.figure,
+                             "system": system,
+                             "metric": result.metric})
+        recorded += 1
+    return recorded
+
+
 # ----------------------------------------------------------------------
 # Shared run cache: Figure 6(a), 6(b) and 7 all come from one SysBench
 # grid; rerunning it per sub-figure would triple the cost.

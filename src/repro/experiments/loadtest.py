@@ -74,7 +74,8 @@ def _pooled_p99_ms(result: RunResult) -> float:
 
 def run_rate_point(workload_factory, system_name: str, rate_rps: float,
                    distribution: str = "poisson",
-                   seed: int = 1234) -> Tuple[RatePoint, RunResult]:
+                   seed: int = 1234,
+                   ledger=None) -> Tuple[RatePoint, RunResult]:
     """Measure one open-loop arrival rate against a fresh system."""
     workload = workload_factory()
     system = make_system(system_name, workload)
@@ -85,7 +86,24 @@ def run_rate_point(workload_factory, system_name: str, rate_rps: float,
     # knee.
     result = run_benchmark(workload, system, engine="event", load=load,
                            warmup_fraction=0.0, flush_at_end=False)
+    _record_probe(ledger, result, seed, rate_rps, distribution,
+                  role="probe")
     return _point_from_result(rate_rps, result), result
+
+
+def _record_probe(ledger, result: RunResult, seed: int,
+                  rate_rps: Optional[float], distribution: str,
+                  role: str) -> None:
+    """Append one loadtest run to the run ledger (duck-typed; the
+    None / NULL_LEDGER default records nothing)."""
+    if ledger is None or not getattr(ledger, "enabled", False):
+        return
+    load = None if rate_rps is None \
+        else ["open", rate_rps, distribution, seed]
+    ledger.record(result, command="loadtest",
+                  spec={"seed": seed, "warmup_fraction": 0.0,
+                        "load": load},
+                  extra={"role": role, "offered_rps": rate_rps})
 
 
 def _point_from_result(rate_rps: float, result: RunResult) -> RatePoint:
@@ -118,7 +136,8 @@ def _rate_spec(base_spec, system_name: str, rate_rps: float,
                    load=("open", rate_rps, distribution, seed))
 
 
-def calibrate_capacity(workload_factory, system_name: str) -> float:
+def calibrate_capacity(workload_factory, system_name: str,
+                       ledger=None) -> float:
     """The system's saturation throughput (requests/s).
 
     One closed-loop run with enough zero-think clients to keep the
@@ -131,6 +150,13 @@ def calibrate_capacity(workload_factory, system_name: str) -> float:
     load = ClosedLoopLoad(clients=clients, think_s=0.0)
     result = run_benchmark(workload, system, engine="event", load=load,
                            warmup_fraction=0.0, flush_at_end=False)
+    if ledger is not None and getattr(ledger, "enabled", False):
+        ledger.record(result, command="loadtest",
+                      spec={"seed": getattr(workload, "seed", None),
+                            "warmup_fraction": 0.0,
+                            "load": ["closed", clients, 0.0]},
+                      extra={"role": "calibrate",
+                             "offered_rps": None})
     return result.requests_per_s
 
 
@@ -152,7 +178,7 @@ def sweep_rates(workload_factory, system_name: str,
                 rates: Sequence[float],
                 distribution: str = "poisson",
                 seed: int = 1234, jobs: int = 1,
-                base_spec=None) -> List[RatePoint]:
+                base_spec=None, ledger=None) -> List[RatePoint]:
     """Measure each offered rate (ascending) on a fresh system.
 
     Rate points are independent runs, so with ``jobs > 1`` *and* a
@@ -160,6 +186,10 @@ def sweep_rates(workload_factory, system_name: str,
     describing the workload declaratively — factories don't pickle)
     they fan out across worker processes; results are identical to the
     serial path either way.
+
+    ``ledger`` records every probe under ``command="loadtest"`` —
+    always in ascending-rate order, in this process, so the store is
+    identical at any job count.
     """
     rates = sorted(rates)
     if jobs > 1 and base_spec is not None:
@@ -168,10 +198,14 @@ def sweep_rates(workload_factory, system_name: str,
         specs = [_rate_spec(base_spec, system_name, rate, distribution,
                             seed) for rate in rates]
         outcomes = run_specs(specs, jobs=jobs)
+        for rate, outcome in zip(rates, outcomes):
+            _record_probe(ledger, outcome.result, seed, rate,
+                          distribution, role="probe")
         return [_point_from_result(rate, outcome.result)
                 for rate, outcome in zip(rates, outcomes)]
     return [run_rate_point(workload_factory, system_name, rate,
-                           distribution=distribution, seed=seed)[0]
+                           distribution=distribution, seed=seed,
+                           ledger=ledger)[0]
             for rate in rates]
 
 
@@ -289,7 +323,8 @@ def compare_at_knee(workload_factory,
                     seed: int = 1234,
                     progress: bool = False,
                     jobs: int = 1,
-                    base_spec=None) -> List[SystemKnee]:
+                    base_spec=None,
+                    ledger=None) -> List[SystemKnee]:
     """Calibrate each architecture's capacity and probe both sides of
     its knee — the event-engine counterpart of the paper's Figure 6/10
     throughput comparisons.
@@ -301,18 +336,21 @@ def compare_at_knee(workload_factory,
     if jobs > 1 and base_spec is not None:
         return _compare_at_knee_parallel(base_spec, system_names,
                                          distribution, seed, progress,
-                                         jobs)
+                                         jobs, ledger=ledger)
     reports = []
     for name in system_names:
         if progress:
             print(f"  calibrating {name}...", file=sys.stderr)
-        capacity = calibrate_capacity(workload_factory, name)
+        capacity = calibrate_capacity(workload_factory, name,
+                                      ledger=ledger)
         pre, _ = run_rate_point(workload_factory, name,
                                 capacity * DEFAULT_SPAN[0],
-                                distribution=distribution, seed=seed)
+                                distribution=distribution, seed=seed,
+                                ledger=ledger)
         post, _ = run_rate_point(workload_factory, name,
                                  capacity * DEFAULT_SPAN[1],
-                                 distribution=distribution, seed=seed)
+                                 distribution=distribution, seed=seed,
+                                 ledger=ledger)
         reports.append(SystemKnee(system=name, capacity_rps=capacity,
                                   pre_knee=pre, post_knee=post))
     return reports
@@ -321,7 +359,7 @@ def compare_at_knee(workload_factory,
 def _compare_at_knee_parallel(base_spec, system_names: Sequence[str],
                               distribution: str, seed: int,
                               progress: bool,
-                              jobs: int) -> List[SystemKnee]:
+                              jobs: int, ledger=None) -> List[SystemKnee]:
     """Parallel :func:`compare_at_knee`: calibrations, then probes."""
     from dataclasses import replace
 
@@ -339,8 +377,19 @@ def _compare_at_knee_parallel(base_spec, system_names: Sequence[str],
     if progress:
         print(f"  calibrating {len(system_names)} systems "
               f"({jobs} jobs)...", file=sys.stderr)
+    calibration_outcomes = run_specs(calibrations, jobs=jobs)
+    recording = ledger is not None and getattr(ledger, "enabled", False)
+    if recording:
+        for outcome in calibration_outcomes:
+            ledger.record(outcome.result, command="loadtest",
+                          spec={"seed": base_spec.seed,
+                                "warmup_fraction": 0.0,
+                                "load": ["closed", clients, 0.0]},
+                          extra={"role": "calibrate",
+                                 "offered_rps": None},
+                          host_wall_s=outcome.host_wall_s)
     capacities = [outcome.result.requests_per_s
-                  for outcome in run_specs(calibrations, jobs=jobs)]
+                  for outcome in calibration_outcomes]
     probe_specs, probe_rates = [], []
     for name, capacity in zip(system_names, capacities):
         for fraction in DEFAULT_SPAN:
@@ -351,9 +400,13 @@ def _compare_at_knee_parallel(base_spec, system_names: Sequence[str],
     if progress:
         print(f"  probing {len(probe_specs)} knee points "
               f"({jobs} jobs)...", file=sys.stderr)
+    probe_outcomes = run_specs(probe_specs, jobs=jobs)
+    if recording:
+        for rate, outcome in zip(probe_rates, probe_outcomes):
+            _record_probe(ledger, outcome.result, seed, rate,
+                          distribution, role="probe")
     points = [_point_from_result(rate, outcome.result)
-              for rate, outcome in zip(probe_rates,
-                                       run_specs(probe_specs, jobs=jobs))]
+              for rate, outcome in zip(probe_rates, probe_outcomes)]
     return [SystemKnee(system=name, capacity_rps=capacity,
                        pre_knee=points[2 * i], post_knee=points[2 * i + 1])
             for i, (name, capacity)

@@ -260,7 +260,8 @@ def run_benchmark(workload: Workload, system: StorageSystem,
                   load=None,
                   engine_config: Optional[EngineConfig] = None,
                   profiler=None,
-                  fault_plan=None
+                  fault_plan=None,
+                  ledger=None
                   ) -> RunResult:
     """Replay ``workload`` into ``system`` and measure the run.
 
@@ -300,6 +301,12 @@ def run_benchmark(workload: Workload, system: StorageSystem,
     repair work competes with foreground I/O through the station
     queues, and the outcomes land in ``RunResult.faults``.  Faults
     need the event timeline, so this requires ``engine="event"``.
+
+    ``ledger`` (a :class:`repro.ledger.LedgerWriter`) appends the
+    result — provenance plus a curated metric snapshot — to the
+    persistent run store under ``command="run_benchmark"``.  The
+    default (None, like :data:`repro.ledger.NULL_LEDGER`) records
+    nothing and costs nothing (see docs/LEDGER.md).
     """
     if engine not in ENGINES:
         raise ValueError(f"unknown engine {engine!r}; pick one of "
@@ -308,12 +315,14 @@ def run_benchmark(workload: Workload, system: StorageSystem,
         raise ValueError(
             f"warmup_fraction must be in [0, 1), got {warmup_fraction}")
     if engine == "event":
-        return _run_event_benchmark(
+        result = _run_event_benchmark(
             workload, system, verify_reads=verify_reads,
             warmup_fraction=warmup_fraction, preload=preload,
             flush_at_end=flush_at_end, tracer=tracer, monitor=monitor,
             load=load, engine_config=engine_config, profiler=profiler,
             fault_plan=fault_plan)
+        _ledger_record(ledger, result, workload, warmup_fraction)
+        return result
     if fault_plan is not None:
         raise ValueError("fault injection needs engine='event'; the "
                          "legacy model has no arrival timeline to "
@@ -402,7 +411,7 @@ def run_benchmark(workload: Workload, system: StorageSystem,
     full_app_cpu = full_tx * workload.app_compute_per_tx
     full_wall = io_time_all / concurrency + full_app_cpu \
         + system.background_time / concurrency
-    return RunResult(
+    result = RunResult(
         workload=workload.name,
         system=system.name,
         n_requests=n_requests,
@@ -432,6 +441,23 @@ def run_benchmark(workload: Workload, system: StorageSystem,
         slo_breaches=list(monitor.breaches) if monitor is not None
         else [],
         attribution=profiler.table if profiler is not None else None)
+    _ledger_record(ledger, result, workload, warmup_fraction)
+    return result
+
+
+def _ledger_record(ledger, result: RunResult, workload,
+                   warmup_fraction: float) -> None:
+    """Append a direct ``run_benchmark`` call to the run ledger.
+
+    Duck-typed (no :mod:`repro.ledger` import): anything with an
+    ``enabled`` flag and a ``record`` method works, and the None /
+    NULL_LEDGER default short-circuits to nothing.
+    """
+    if ledger is None or not getattr(ledger, "enabled", False):
+        return
+    ledger.record(result, command="run_benchmark",
+                  spec={"seed": getattr(workload, "seed", None),
+                        "warmup_fraction": warmup_fraction})
 
 
 def _run_event_benchmark(workload: Workload, system: StorageSystem,

@@ -46,7 +46,8 @@ def sweep_config(workload_factory: Callable[[], Workload],
                  warmup_fraction: float = 0.4,
                  preload: bool = True,
                  jobs: int = 1,
-                 base_spec=None) -> List[SweepPoint]:
+                 base_spec=None,
+                 ledger=None) -> List[SweepPoint]:
     """Run I-CASH once per value of one :class:`ICASHConfig` field.
 
     Each point gets a fresh workload (same seed → same trace) and a fresh
@@ -58,6 +59,10 @@ def sweep_config(workload_factory: Callable[[], Workload],
     describing the workload declaratively — factories don't pickle)
     they fan out across worker processes, with results identical to the
     serial path.
+
+    ``ledger`` (a :class:`repro.ledger.LedgerWriter`) records every
+    point under ``command="sweep"`` — always in value order, in this
+    process, so the store is identical at any job count.
     """
     if jobs > 1 and base_spec is not None:
         from repro.experiments.parallel import run_specs
@@ -68,8 +73,12 @@ def sweep_config(workload_factory: Callable[[], Workload],
                          config_overrides=((parameter, value),))
                  for value in values]
         outcomes = run_specs(specs, jobs=jobs)
-        return [SweepPoint(parameter, value, outcome.result)
-                for value, outcome in zip(values, outcomes)]
+        points = [SweepPoint(parameter, value, outcome.result)
+                  for value, outcome in zip(values, outcomes)]
+        for spec, outcome in zip(specs, outcomes):
+            _record_point(ledger, outcome.result, spec, parameter,
+                          host_wall_s=outcome.host_wall_s)
+        return points
     points: List[SweepPoint] = []
     for value in values:
         workload = workload_factory()
@@ -80,7 +89,29 @@ def sweep_config(workload_factory: Callable[[], Workload],
                                warmup_fraction=warmup_fraction,
                                preload=preload)
         points.append(SweepPoint(parameter, value, result))
+        _record_point(ledger, result, None, parameter,
+                      overrides=((parameter, value),),
+                      seed=getattr(workload, "seed", None),
+                      warmup_fraction=warmup_fraction)
     return points
+
+
+def _record_point(ledger, result: RunResult, spec, parameter: str,
+                  overrides=None, seed=None,
+                  warmup_fraction=None, host_wall_s=None) -> None:
+    """Append one sweep point to the run ledger (duck-typed; the
+    None / NULL_LEDGER default records nothing)."""
+    if ledger is None or not getattr(ledger, "enabled", False):
+        return
+    if spec is None:
+        spec = {"seed": seed, "warmup_fraction": warmup_fraction,
+                "config_overrides": list(overrides or ())}
+    value = dict(spec["config_overrides"]
+                 if isinstance(spec, dict)
+                 else spec.config_overrides)[parameter]
+    ledger.record(result, command="sweep", spec=spec,
+                  extra={"parameter": parameter, "value": value},
+                  host_wall_s=host_wall_s)
 
 
 def sweep_workload(workload_factories: Iterable[Callable[[], Workload]],

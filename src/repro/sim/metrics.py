@@ -190,16 +190,87 @@ DEFAULT_LATENCY_BUCKETS_US: Tuple[float, ...] = (
     1e3, 2e3, 5e3, 1e4, 2e4, 5e4, 1e5)
 
 
+def escape_label_value(value: str) -> str:
+    """Prometheus text-format label-value escaping.
+
+    Inside ``name{k="v"}`` a backslash, double quote, or line feed
+    would corrupt the line; the exposition format spells them ``\\\\``,
+    ``\\"`` and ``\\n``.
+    """
+    return (str(value).replace("\\", "\\\\")
+            .replace('"', '\\"').replace("\n", "\\n"))
+
+
+def unescape_label_value(text: str) -> str:
+    """Inverse of :func:`escape_label_value` (unknown escapes pass the
+    escaped character through, matching lenient exposition parsers)."""
+    out: List[str] = []
+    i = 0
+    while i < len(text):
+        ch = text[i]
+        if ch == "\\" and i + 1 < len(text):
+            follower = text[i + 1]
+            out.append("\n" if follower == "n" else follower)
+            i += 2
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
 def series_key(name: str, **labels: str) -> str:
     """The canonical series key: ``name`` or ``name{k="v",...}``.
 
     Label pairs are sorted, matching the Prometheus text format, so the
-    same (name, labels) always produces the same key.
+    same (name, labels) always produces the same key.  Values are
+    escaped with :func:`escape_label_value`, so keys stay one valid
+    exposition line (and one CSV cell) whatever the labels contain;
+    :func:`parse_series_key` round-trips them.
     """
     if not labels:
         return name
-    inner = ",".join(f'{k}="{labels[k]}"' for k in sorted(labels))
+    inner = ",".join(f'{k}="{escape_label_value(labels[k])}"'
+                     for k in sorted(labels))
     return f"{name}{{{inner}}}"
+
+
+def parse_series_key(key: str) -> Tuple[str, Dict[str, str]]:
+    """``name{k="v",...}`` -> ``(name, labels)``, unescaping values.
+
+    The inverse of :func:`series_key`; raises ``ValueError`` on
+    malformed keys instead of guessing.
+    """
+    name, brace, rest = key.partition("{")
+    if not brace:
+        return key, {}
+    labels: Dict[str, str] = {}
+    try:
+        if not rest.endswith("}"):
+            raise IndexError
+        text = rest[:-1]
+        i = 0
+        while i < len(text):
+            eq = text.index("=", i)
+            if eq == i or text[eq + 1] != '"':
+                raise IndexError
+            raw: List[str] = []
+            j = eq + 2
+            while text[j] != '"':
+                if text[j] == "\\":
+                    raw.append(text[j:j + 2])
+                    j += 2
+                else:
+                    raw.append(text[j])
+                    j += 1
+            labels[text[i:eq]] = unescape_label_value("".join(raw))
+            i = j + 1
+            if i < len(text):
+                if text[i] != ",":
+                    raise IndexError
+                i += 1
+    except (IndexError, ValueError):
+        raise ValueError(f"malformed series key {key!r}") from None
+    return name, labels
 
 
 # ---------------------------------------------------------------------------
@@ -611,8 +682,9 @@ class SeriesStore:
         for key in self.kinds:
             if not key.startswith(prefix):
                 continue
-            le_text = key[len(prefix):].split("le=\"", 1)[-1] \
-                .split("\"", 1)[0]
+            le_text = parse_series_key(key)[1].get("le")
+            if le_text is None:  # pragma: no cover - buckets carry le
+                continue
             bound = float("inf") if le_text == "+Inf" else float(le_text)
             out.append((bound, self.window_delta(index, key)))
         out.sort(key=lambda pair: pair[0])

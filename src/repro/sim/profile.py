@@ -323,6 +323,18 @@ class AttributionTable:
             } for row in self.rows(op))
         return out
 
+    def top_rows(self, per_op: int = 3) -> List[Dict[str, object]]:
+        """The heaviest ``per_op`` JSON-ready rows of each class.
+
+        The curated form ledger snapshots keep: where the latency
+        went, without the full table (see docs/LEDGER.md).
+        """
+        keep = {(op, row.device, row.phase)
+                for op in self.ops
+                for row in self.rows(op)[:per_op]}
+        return [row for row in self.to_rows()
+                if (row["op"], row["device"], row["phase"]) in keep]
+
 
 # ---------------------------------------------------------------------------
 # Profilers

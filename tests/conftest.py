@@ -8,6 +8,17 @@ import pytest
 from repro.sim.request import BLOCK_SIZE
 
 
+@pytest.fixture(autouse=True)
+def _no_ambient_ledger(monkeypatch) -> None:
+    """Keep tests from writing `.repro-ledger/` into the repo.
+
+    The CLI records every experiment invocation by default
+    (docs/LEDGER.md); tests that exercise recording construct a
+    ``LedgerWriter`` on a tmp_path explicitly instead.
+    """
+    monkeypatch.setenv("REPRO_LEDGER", "0")
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     return np.random.default_rng(0xC0FFEE)

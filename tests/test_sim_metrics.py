@@ -588,3 +588,116 @@ class TestDocumentationParity:
                 r"^\| `(\w+)` \| (counter|gauge|histogram) \|", text,
                 re.MULTILINE):
             assert INSTRUMENT_CATALOGUE[name].kind == kind, name
+
+
+class TestLabelEscaping:
+    HOSTILE = 'quote" back\\slash\nnewline'
+
+    def test_series_key_round_trips_hostile_values(self):
+        from repro.sim.metrics import parse_series_key
+
+        labels = {"device": self.HOSTILE, "kind": "plain"}
+        key = series_key("ops_total", **labels)
+        assert "\n" not in key, "raw newline would split the line"
+        assert parse_series_key(key) == ("ops_total", labels)
+        assert parse_series_key("bare_name") == ("bare_name", {})
+
+    def test_escape_unescape_inverse(self):
+        from repro.sim.metrics import (escape_label_value,
+                                       unescape_label_value)
+
+        for value in ("", "plain", '"', "\\", "\n", self.HOSTILE,
+                      "\\n literal", 'a"b\\c\nd'):
+            escaped = escape_label_value(value)
+            assert "\n" not in escaped
+            assert unescape_label_value(escaped) == value
+
+    def test_malformed_keys_rejected(self):
+        from repro.sim.metrics import parse_series_key
+
+        for bad in ("x{", 'x{a=b}', 'x{a="v" b="w"}', 'x{a="v}',
+                    'x{="v"}'):
+            with pytest.raises(ValueError, match="malformed"):
+                parse_series_key(bad)
+
+    def test_prometheus_exposition_stays_line_oriented(self):
+        from repro.sim.metrics import parse_series_key
+
+        registry = MetricsRegistry()
+        registry.counter("faults_injected_total", ("kind",)) \
+            .labels(kind=self.HOSTILE).inc(3)
+        buf = io.StringIO()
+        samples = export_prometheus(registry, buf)
+        lines = [line for line in buf.getvalue().splitlines()
+                 if line and not line.startswith("#")]
+        assert len(lines) == samples == 1
+        key, value = lines[0].rsplit(" ", 1)
+        assert float(value) == 3.0
+        name, labels = parse_series_key(key)
+        assert name == "faults_injected_total"
+        assert labels == {"kind": self.HOSTILE}
+
+    def test_bucket_deltas_survive_hostile_sibling_label(self):
+        # A label value containing a fake `le="..."` used to confuse
+        # the histogram bucket parser; the real parser reads labels.
+        trap = 'trap le="9999" trap'
+        k_lo = series_key("lat_bucket", le="1.0", device=trap)
+        k_inf = series_key("lat_bucket", le="+Inf", device=trap)
+        kinds = {k_lo: "counter", k_inf: "counter",
+                 "lat_count": "counter", "lat_sum": "counter"}
+        store = SeriesStore(max_windows=4)
+        store.set_baseline(dict.fromkeys(kinds, 0.0), kinds)
+        store.append(WindowSnapshot(0.0, 1.0, {
+            k_lo: 3.0, k_inf: 4.0, "lat_count": 4.0, "lat_sum": 10.0}))
+        deltas = store._bucket_deltas(0, "lat")
+        assert [bound for bound, _ in deltas] == [1.0, float("inf")]
+        assert store.window_quantile(0, "lat", 0.5) == 1.0
+
+
+class TestSeriesStorePairMergeEdges:
+    @staticmethod
+    def _fill(store, n, start=0.0):
+        for i in range(n):
+            t = start + float(i)
+            store.append(WindowSnapshot(t, t + 1.0,
+                                        {"c": (start + i + 1) * 10.0}))
+
+    def test_single_point_series_never_merges(self):
+        store = SeriesStore(max_windows=2)
+        store.set_baseline({"c": 0.0}, {"c": "counter"})
+        assert store.append(WindowSnapshot(0.0, 1.0, {"c": 5.0})) \
+            is False
+        assert len(store) == 1
+        assert store.downsample_factor == 1
+        assert store.window_delta(0, "c") == 5.0
+        assert store.counter_total("c") == 5.0
+
+    def test_odd_point_count_keeps_trailing_window(self):
+        store = SeriesStore(max_windows=4)
+        store.set_baseline({"c": 0.0}, {"c": "counter"})
+        self._fill(store, 5)  # fifth append overflows: 5 -> 3 windows
+        assert len(store) == 3
+        assert store.downsample_factor == 2
+        # Pairs merged, odd tail survives unmerged; coverage continuous.
+        spans = [(w.t_start, w.t_end) for w in store.windows]
+        assert spans == [(0.0, 2.0), (2.0, 4.0), (4.0, 5.0)]
+        assert store.counter_total("c") == 50.0
+        assert sum(store.window_delta(i, "c")
+                   for i in range(len(store))) == 50.0
+
+    def test_merge_then_sample_deterministic(self):
+        def build():
+            store = SeriesStore(max_windows=4)
+            store.set_baseline({"c": 0.0}, {"c": "counter"})
+            self._fill(store, 11)
+            return store
+
+        one, two = build(), build()
+        assert [(w.t_start, w.t_end, w.values) for w in one.windows] \
+            == [(w.t_start, w.t_end, w.values) for w in two.windows]
+        assert one.downsample_factor == two.downsample_factor
+        # Windows re-merge deterministically, and deltas still sum to
+        # the exact total after repeated downsampling.
+        assert one.counter_total("c") == 110.0
+        assert sum(one.window_delta(i, "c")
+                   for i in range(len(one))) == 110.0
