@@ -23,11 +23,19 @@ Runs the same SysBench replay on the I-CASH element five ways:
   and JSONL append); ``null`` (the ``NULL_LEDGER`` default) is the
   ledger-disabled case.  This is a *per-run* cost, not per-request —
   it does not grow with ``--requests``.
+* ``explain`` — the ``profile`` run (event engine, recording profiler,
+  sampling monitor) plus one full self-diff through the
+  ``repro.analysis.explain`` engine: attribution, scalar, phase and
+  queueing diffs, suspect ranking and both renderings.  Compare
+  against ``profile`` for the engine's own cost; like ``ledger`` it is
+  a per-diagnosis cost, not per-request.
 
 Prints median wall-clock over ``--repeats`` runs and the overhead of
-each mode relative to ``null``.  The numbers quoted in the tracer and
-sampler overhead sections of ``docs/TUNING.md`` come from this
-script::
+each mode relative to ``null``, then one single-line JSON summary per
+mode (``{"mode": ..., "median_ms": ..., "overhead_vs_null": ...}``) so
+CI and scripts can scrape the numbers without parsing the prose.  The
+numbers quoted in the tracer and sampler overhead sections of
+``docs/TUNING.md`` come from this script::
 
     PYTHONPATH=src python scripts/bench_tracer_overhead.py
 """
@@ -35,6 +43,7 @@ script::
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import shutil
 import statistics
@@ -58,20 +67,29 @@ def one_run(n_requests: int, mode: str) -> float:
     workload = SysBenchWorkload(n_requests=n_requests)
     system = make_system("icash", workload)
     tracer = RingBufferTracer() if mode.startswith("ring") else None
-    monitor = Monitor(interval_s=0.01) if mode == "monitor" else None
-    profiler = Profiler() if mode == "profile" else None
-    engine = "event" if mode in ("event", "profile") else "legacy"
+    monitor = (Monitor(interval_s=0.01)
+               if mode in ("monitor", "explain") else None)
+    profiler = Profiler() if mode in ("profile", "explain") else None
+    engine = ("event" if mode in ("event", "profile", "explain")
+              else "legacy")
     ledger = None
     if mode == "ledger":
         store_dir = tempfile.mkdtemp(prefix="repro-ledger-bench-")
         ledger = LedgerWriter(root=store_dir)
     started = time.perf_counter()
-    run_benchmark(workload, system, tracer=tracer, monitor=monitor,
-                  engine=engine, profiler=profiler, ledger=ledger)
+    result = run_benchmark(workload, system, tracer=tracer,
+                           monitor=monitor, engine=engine,
+                           profiler=profiler, ledger=ledger)
     if mode == "ring+chrome":
         with tempfile.NamedTemporaryFile("w", suffix=".json",
                                          delete=True) as handle:
             export_chrome_trace(tracer.events, handle)
+    if mode == "explain":
+        from repro.analysis.explain import explain_results
+
+        report = explain_results(result, result)
+        report.render()
+        report.render_json()
     elapsed = time.perf_counter() - started
     if mode == "ledger":
         shutil.rmtree(store_dir, ignore_errors=True)
@@ -87,12 +105,14 @@ def main() -> int:
     args = parser.parse_args()
 
     modes = ("null", "ring", "ring+chrome", "monitor", "event",
-             "profile", "ledger")
+             "profile", "ledger", "explain")
     medians = {}
+    extremes = {}
     for mode in modes:
         times = [one_run(args.requests, mode)
                  for _ in range(args.repeats)]
         medians[mode] = statistics.median(times)
+        extremes[mode] = (min(times), max(times))
         print(f"{mode:<12} median {medians[mode] * 1e3:8.1f} ms "
               f"over {args.repeats} runs "
               f"(min {min(times) * 1e3:.1f}, max {max(times) * 1e3:.1f})")
@@ -100,6 +120,19 @@ def main() -> int:
     for mode in modes[1:]:
         print(f"{mode:<12} overhead vs null: "
               f"{(medians[mode] / base - 1.0):+.1%}")
+    # One machine-readable line per mode, last so a log scraper can
+    # just take the tail of the output.
+    for mode in modes:
+        low, high = extremes[mode]
+        print(json.dumps({
+            "mode": mode,
+            "requests": args.requests,
+            "repeats": args.repeats,
+            "median_ms": round(medians[mode] * 1e3, 3),
+            "min_ms": round(low * 1e3, 3),
+            "max_ms": round(high * 1e3, 3),
+            "overhead_vs_null": round(medians[mode] / base - 1.0, 4),
+        }, sort_keys=True))
     return 0
 
 

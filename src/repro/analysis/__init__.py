@@ -10,6 +10,9 @@ package measures those properties directly:
   references, signature-overlap histograms, write-change fractions.
 * :mod:`repro.analysis.coverage` — how well a reference set covers a
   block population (the "1 % references anchor 85 % of blocks" number).
+* :mod:`repro.analysis.explain` — differential diagnosis of two runs:
+  noise-aware attribution/scalar diffs, phase-aligned series diffs,
+  queueing deltas and a ranked suspect list (``repro explain``).
 """
 
 from repro.analysis.coverage import CoverageReport, reference_coverage

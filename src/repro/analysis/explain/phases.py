@@ -1,0 +1,290 @@
+"""Phase-aligned series diff.
+
+A whole-run mean smears a mid-run workload shift (a write burst, a
+cold-to-warm transition, a compaction storm) over everything around
+it; two runs can then look uniformly different when only one phase
+moved.  This module segments each run's windowed
+:class:`~repro.sim.metrics.SeriesStore` into workload phases via
+change-point detection on the :func:`~repro.sim.metrics.
+window_fingerprint` vector (read/write mix, delta-hit ratio, seek
+locality — the ReCA-style characterization), aligns the phase
+sequences of the two runs, and diffs latency/throughput *per aligned
+phase* — so the report can say "phase 2 (write-heavy) got slower;
+phases 1 and 3 are unchanged".
+
+Everything is deterministic: plain arithmetic over stored windows, no
+randomness, stable tie-breaks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.analysis.explain.views import RunView
+from repro.sim.metrics import (FINGERPRINT_DIMENSIONS, SeriesStore,
+                               window_fingerprint)
+
+#: Mean absolute per-dimension fingerprint distance that opens a new
+#: phase (fingerprint components live in [0, 1], so 0.15 means the mix
+#: moved by fifteen points on average).
+CHANGE_THRESHOLD = 0.15
+
+#: Windows a phase must span before a change-point may close it —
+#: absorbs single-window blips without smoothing real transitions.
+MIN_PHASE_WINDOWS = 3
+
+#: Per-phase alignment: fingerprint distance above which two phases
+#: are considered different workloads (aligning them would compare
+#: apples to oranges; a gap is cheaper).
+GAP_PENALTY = 0.30
+
+
+def fingerprint_distance(a: Tuple[float, ...],
+                         b: Tuple[float, ...]) -> float:
+    """Mean absolute per-dimension distance of two fingerprints.
+
+    A dimension inactive (-1.0) on both sides contributes zero; active
+    on exactly one side contributes the maximum (1.0) — traffic
+    appearing on a device *is* a workload change.
+    """
+    total = 0.0
+    for va, vb in zip(a, b):
+        if va < 0.0 and vb < 0.0:
+            continue
+        if va < 0.0 or vb < 0.0:
+            total += 1.0
+        else:
+            total += abs(va - vb)
+    return total / len(a) if a else 0.0
+
+
+@dataclass
+class Phase:
+    """One contiguous run segment with a stable workload fingerprint."""
+
+    index: int
+    start_window: int
+    #: Exclusive end, so ``range(start_window, end_window)``.
+    end_window: int
+    fingerprint: Tuple[float, ...] = ()
+
+    @property
+    def n_windows(self) -> int:
+        return self.end_window - self.start_window
+
+    def describe(self) -> str:
+        parts = []
+        for name, value in zip(FINGERPRINT_DIMENSIONS,
+                               self.fingerprint):
+            parts.append(f"{name}={value:.2f}" if value >= 0.0
+                         else f"{name}=-")
+        return (f"phase {self.index} "
+                f"[windows {self.start_window}-{self.end_window - 1}]: "
+                + " ".join(parts))
+
+
+def _segment_mean(store: SeriesStore, start: int,
+                  end: int) -> Tuple[float, ...]:
+    """Mean fingerprint over ``[start, end)``, per active dimension."""
+    sums = [0.0] * len(FINGERPRINT_DIMENSIONS)
+    counts = [0] * len(FINGERPRINT_DIMENSIONS)
+    for index in range(start, end):
+        for dim, value in enumerate(window_fingerprint(store, index)):
+            if value >= 0.0:
+                sums[dim] += value
+                counts[dim] += 1
+    return tuple(sums[dim] / counts[dim] if counts[dim] else -1.0
+                 for dim in range(len(FINGERPRINT_DIMENSIONS)))
+
+
+def segment_phases(store: SeriesStore,
+                   threshold: float = CHANGE_THRESHOLD,
+                   min_windows: int = MIN_PHASE_WINDOWS
+                   ) -> List[Phase]:
+    """Split the stored windows into workload phases.
+
+    Online change-point detection: each window's fingerprint is
+    compared against the running mean of the open segment; a distance
+    above ``threshold`` — once the segment holds ``min_windows``
+    windows — closes it.  Deterministic by construction.
+    """
+    n = len(store.windows)
+    if n == 0:
+        return []
+    phases: List[Phase] = []
+    start = 0
+    for index in range(1, n):
+        if index - start < min_windows:
+            continue
+        mean = _segment_mean(store, start, index)
+        if fingerprint_distance(
+                window_fingerprint(store, index), mean) > threshold:
+            phases.append(Phase(index=len(phases), start_window=start,
+                                end_window=index))
+            start = index
+    phases.append(Phase(index=len(phases), start_window=start,
+                        end_window=n))
+    for phase in phases:
+        phase.fingerprint = _segment_mean(store, phase.start_window,
+                                          phase.end_window)
+    return phases
+
+
+def align_phases(phases_a: List[Phase], phases_b: List[Phase],
+                 gap_penalty: float = GAP_PENALTY
+                 ) -> List[Tuple[Optional[int], Optional[int]]]:
+    """Order-preserving alignment of two phase sequences.
+
+    Needleman-Wunsch over fingerprint distance: matching two phases
+    costs their distance, skipping a phase costs ``gap_penalty`` — so
+    a phase present in only one run (a compaction storm that did not
+    recur) aligns against a gap instead of distorting its neighbours.
+    Returns ``(index_a or None, index_b or None)`` pairs in order.
+    """
+    na, nb = len(phases_a), len(phases_b)
+    # cost[i][j]: best cost aligning the first i of a with first j of b.
+    cost = [[0.0] * (nb + 1) for _ in range(na + 1)]
+    for i in range(1, na + 1):
+        cost[i][0] = i * gap_penalty
+    for j in range(1, nb + 1):
+        cost[0][j] = j * gap_penalty
+    for i in range(1, na + 1):
+        for j in range(1, nb + 1):
+            match = cost[i - 1][j - 1] + fingerprint_distance(
+                phases_a[i - 1].fingerprint,
+                phases_b[j - 1].fingerprint)
+            cost[i][j] = min(match,
+                             cost[i - 1][j] + gap_penalty,
+                             cost[i][j - 1] + gap_penalty)
+    pairs: List[Tuple[Optional[int], Optional[int]]] = []
+    i, j = na, nb
+    while i > 0 or j > 0:
+        if i > 0 and j > 0:
+            match = cost[i - 1][j - 1] + fingerprint_distance(
+                phases_a[i - 1].fingerprint,
+                phases_b[j - 1].fingerprint)
+            if abs(cost[i][j] - match) < 1e-12:
+                pairs.append((i - 1, j - 1))
+                i, j = i - 1, j - 1
+                continue
+        if i > 0 and abs(cost[i][j]
+                         - (cost[i - 1][j] + gap_penalty)) < 1e-12:
+            pairs.append((i - 1, None))
+            i -= 1
+            continue
+        pairs.append((None, j - 1))
+        j -= 1
+    pairs.reverse()
+    return pairs
+
+
+# ---------------------------------------------------------------------------
+# Per-phase metric diff
+# ---------------------------------------------------------------------------
+
+
+def _phase_stats(store: SeriesStore, phase: Phase
+                 ) -> Tuple[float, Optional[float]]:
+    """``(requests, mean read latency us)`` over the phase's windows."""
+    requests = 0.0
+    lat_sum = 0.0
+    lat_count = 0.0
+    for index in range(phase.start_window, phase.end_window):
+        requests += store.window_delta(index, "requests_read_total")
+        requests += store.window_delta(index, "requests_write_total")
+        count = store.window_delta(index, "read_latency_us_count")
+        if count > 0:
+            lat_sum += store.window_delta(index, "read_latency_us_sum")
+            lat_count += count
+    mean = lat_sum / lat_count if lat_count > 0 else None
+    return requests, mean
+
+
+@dataclass(frozen=True)
+class PhasePair:
+    """Two aligned phases (or one phase against a gap), diffed."""
+
+    phase_a: Optional[Phase]
+    phase_b: Optional[Phase]
+    distance: Optional[float]
+    a_requests: float = 0.0
+    b_requests: float = 0.0
+    a_read_mean_us: Optional[float] = None
+    b_read_mean_us: Optional[float] = None
+
+    @property
+    def shifted(self) -> bool:
+        """Did the workload mix itself change between the aligned
+        phases (as opposed to the same mix running slower)?"""
+        return self.distance is not None \
+            and self.distance > CHANGE_THRESHOLD
+
+    def render(self) -> str:
+        if self.phase_a is None:
+            return (f"  (no counterpart) <- {self.phase_b.describe()} "
+                    f"[only in b]")
+        if self.phase_b is None:
+            return (f"  {self.phase_a.describe()} -> (no counterpart) "
+                    f"[only in a]")
+        lat = ""
+        if self.a_read_mean_us is not None \
+                and self.b_read_mean_us is not None:
+            lat = (f"  read mean {self.a_read_mean_us:.1f} -> "
+                   f"{self.b_read_mean_us:.1f} us")
+        return (f"  {self.phase_a.describe()} <-> "
+                f"{self.phase_b.describe()} "
+                f"(distance {self.distance:.3f}){lat}")
+
+
+@dataclass
+class PhaseReport:
+    """The phase structure of both runs and their aligned diff."""
+
+    phases_a: List[Phase]
+    phases_b: List[Phase]
+    pairs: List[PhasePair] = field(default_factory=list)
+
+    @property
+    def structure_changed(self) -> bool:
+        """More/fewer phases, an unmatched phase, or a shifted mix."""
+        if len(self.phases_a) != len(self.phases_b):
+            return True
+        return any(p.phase_a is None or p.phase_b is None or p.shifted
+                   for p in self.pairs)
+
+    def render(self) -> str:
+        lines = [f"phases: {len(self.phases_a)} in a, "
+                 f"{len(self.phases_b)} in b"
+                 + (" (structure changed)" if self.structure_changed
+                    else " (aligned)")]
+        lines.extend(pair.render() for pair in self.pairs)
+        return "\n".join(lines)
+
+
+def diff_phases(view_a: RunView,
+                view_b: RunView) -> Optional[PhaseReport]:
+    """Segment, align and diff both runs' series; None unless both
+    views carry a windowed SeriesStore (live monitored runs only)."""
+    if view_a.series is None or view_b.series is None:
+        return None
+    phases_a = segment_phases(view_a.series)
+    phases_b = segment_phases(view_b.series)
+    pairs: List[PhasePair] = []
+    for ia, ib in align_phases(phases_a, phases_b):
+        pa = phases_a[ia] if ia is not None else None
+        pb = phases_b[ib] if ib is not None else None
+        a_req = a_lat = b_req = b_lat = None
+        if pa is not None:
+            a_req, a_lat = _phase_stats(view_a.series, pa)
+        if pb is not None:
+            b_req, b_lat = _phase_stats(view_b.series, pb)
+        pairs.append(PhasePair(
+            phase_a=pa, phase_b=pb,
+            distance=fingerprint_distance(pa.fingerprint,
+                                          pb.fingerprint)
+            if pa is not None and pb is not None else None,
+            a_requests=a_req or 0.0, b_requests=b_req or 0.0,
+            a_read_mean_us=a_lat, b_read_mean_us=b_lat))
+    return PhaseReport(phases_a=phases_a, phases_b=phases_b,
+                       pairs=pairs)

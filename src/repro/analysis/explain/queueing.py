@@ -1,0 +1,116 @@
+"""Queueing diff: per-station deltas and bottleneck migration.
+
+Only ``engine="event"`` runs carry a
+:class:`~repro.sim.engine.QueueingSummary`, so this component applies
+to live result pairs (and degrades to None elsewhere).  The headline
+finding is *bottleneck migration* — the paper's saturation analysis is
+about which device the queue builds at, and "bottleneck moved
+hdd -> ssd" is a root cause in itself: it says the workload stopped
+being seek-bound and the SSD's service rate now gates throughput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.analysis.explain.views import RunView
+
+#: Utilisation movement below this is idle-path noise, not a finding.
+UTILIZATION_TOLERANCE = 0.05
+
+
+@dataclass(frozen=True)
+class StationDelta:
+    """One device station compared across two runs."""
+
+    name: str
+    a_utilization: Optional[float]
+    b_utilization: Optional[float]
+    a_mean_depth: Optional[float]
+    b_mean_depth: Optional[float]
+
+    @property
+    def delta_utilization(self) -> Optional[float]:
+        if self.a_utilization is None or self.b_utilization is None:
+            return None
+        return self.b_utilization - self.a_utilization
+
+    @property
+    def significant(self) -> bool:
+        delta = self.delta_utilization
+        return delta is not None and abs(delta) > UTILIZATION_TOLERANCE
+
+    def render(self) -> str:
+        def pct(value):
+            return "-" if value is None else f"{value:6.1%}"
+
+        def depth(value):
+            return "-" if value is None else f"{value:.2f}"
+
+        return (f"  {self.name:<8} util {pct(self.a_utilization)} -> "
+                f"{pct(self.b_utilization)}   depth "
+                f"{depth(self.a_mean_depth)} -> "
+                f"{depth(self.b_mean_depth)}")
+
+
+@dataclass
+class QueueingDiff:
+    """Station deltas plus the bottleneck-migration verdict."""
+
+    stations: List[StationDelta]
+    bottleneck_a: Optional[str]
+    bottleneck_b: Optional[str]
+    a_wait_mean_us: float
+    b_wait_mean_us: float
+    a_wait_p99_us: float
+    b_wait_p99_us: float
+
+    @property
+    def bottleneck_moved(self) -> bool:
+        return self.bottleneck_a != self.bottleneck_b
+
+    @property
+    def significant(self) -> bool:
+        return self.bottleneck_moved or any(s.significant
+                                            for s in self.stations)
+
+    def render(self) -> str:
+        if self.bottleneck_moved:
+            head = (f"queueing: bottleneck moved "
+                    f"{self.bottleneck_a or 'none'} -> "
+                    f"{self.bottleneck_b or 'none'}")
+        else:
+            head = (f"queueing: bottleneck unchanged "
+                    f"({self.bottleneck_a or 'none'})")
+        lines = [head,
+                 f"  wait mean {self.a_wait_mean_us:.1f} -> "
+                 f"{self.b_wait_mean_us:.1f} us, p99 "
+                 f"{self.a_wait_p99_us:.1f} -> "
+                 f"{self.b_wait_p99_us:.1f} us"]
+        lines.extend(s.render() for s in self.stations)
+        return "\n".join(lines)
+
+
+def diff_queueing(view_a: RunView,
+                  view_b: RunView) -> Optional[QueueingDiff]:
+    """Compare both runs' queueing summaries; None unless both views
+    carry one (live ``engine="event"`` result pairs only)."""
+    qa, qb = view_a.queueing, view_b.queueing
+    if qa is None or qb is None:
+        return None
+    stations: List[StationDelta] = []
+    for name in sorted(set(qa.stations) | set(qb.stations)):
+        sa = qa.stations.get(name)
+        sb = qb.stations.get(name)
+        stations.append(StationDelta(
+            name=name,
+            a_utilization=sa.utilization if sa else None,
+            b_utilization=sb.utilization if sb else None,
+            a_mean_depth=sa.mean_depth if sa else None,
+            b_mean_depth=sb.mean_depth if sb else None))
+    return QueueingDiff(
+        stations=stations,
+        bottleneck_a=qa.bottleneck, bottleneck_b=qb.bottleneck,
+        a_wait_mean_us=qa.wait_mean_us, b_wait_mean_us=qb.wait_mean_us,
+        a_wait_p99_us=qa.wait_p99_us, b_wait_p99_us=qb.wait_p99_us)

@@ -49,15 +49,19 @@ class DedupCacheStorage(StorageSystem):
     """Write-back, content-addressed SSD cache over a single HDD."""
 
     def __init__(self, initial_content: np.ndarray, cache_blocks: int,
-                 ssd_spec: SSDSpec = SSDSpec(),
-                 hdd_spec: HDDSpec = HDDSpec()) -> None:
+                 ssd_spec: Optional[SSDSpec] = None,
+                 hdd_spec: Optional[HDDSpec] = None) -> None:
         capacity_blocks = initial_content.shape[0]
         super().__init__("dedup", capacity_blocks)
         if cache_blocks < 1:
             raise ValueError(f"cache needs >= 1 block, got {cache_blocks}")
         self.backing = BackingStore(initial_content)
-        self.ssd = FlashSSD(cache_blocks, ssd_spec)
-        self.hdd = HardDiskDrive(capacity_blocks, hdd_spec)
+        self.ssd = FlashSSD(cache_blocks,
+                            ssd_spec if ssd_spec is not None
+                            else SSDSpec())
+        self.hdd = HardDiskDrive(capacity_blocks,
+                                 hdd_spec if hdd_spec is not None
+                                 else HDDSpec())
         self.cache_blocks = cache_blocks
         self._free: List[int] = list(range(cache_blocks - 1, -1, -1))
         # Content hash -> shared physical entry.

@@ -25,15 +25,19 @@ class LRUCacheStorage(StorageSystem):
     """Write-back LRU SSD cache in front of a single HDD."""
 
     def __init__(self, initial_content: np.ndarray, cache_blocks: int,
-                 ssd_spec: SSDSpec = SSDSpec(),
-                 hdd_spec: HDDSpec = HDDSpec()) -> None:
+                 ssd_spec: Optional[SSDSpec] = None,
+                 hdd_spec: Optional[HDDSpec] = None) -> None:
         capacity_blocks = initial_content.shape[0]
         super().__init__("lru", capacity_blocks)
         if cache_blocks < 1:
             raise ValueError(f"cache needs >= 1 block, got {cache_blocks}")
         self.backing = BackingStore(initial_content)
-        self.ssd = FlashSSD(cache_blocks, ssd_spec)
-        self.hdd = HardDiskDrive(capacity_blocks, hdd_spec)
+        self.ssd = FlashSSD(cache_blocks,
+                            ssd_spec if ssd_spec is not None
+                            else SSDSpec())
+        self.hdd = HardDiskDrive(capacity_blocks,
+                                 hdd_spec if hdd_spec is not None
+                                 else HDDSpec())
         self.cache_blocks = cache_blocks
         # lba -> SSD slot, in LRU order (MRU at the end).
         self._map: "OrderedDict[int, int]" = OrderedDict()

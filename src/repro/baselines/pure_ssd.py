@@ -13,7 +13,7 @@ workloads (Figures 7, 9, 11).
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -26,11 +26,13 @@ class PureSSD(StorageSystem):
     """All blocks live on one flash SSD."""
 
     def __init__(self, initial_content: np.ndarray,
-                 ssd_spec: SSDSpec = SSDSpec()) -> None:
+                 ssd_spec: Optional[SSDSpec] = None) -> None:
         capacity_blocks = initial_content.shape[0]
         super().__init__("fusion-io", capacity_blocks)
         self.backing = BackingStore(initial_content)
-        self.ssd = FlashSSD(capacity_blocks, ssd_spec)
+        self.ssd = FlashSSD(capacity_blocks,
+                            ssd_spec if ssd_spec is not None
+                            else SSDSpec())
 
     def devices(self) -> Iterable:
         return (self.ssd,)

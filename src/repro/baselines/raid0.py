@@ -9,7 +9,7 @@ transaction workloads.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -24,12 +24,13 @@ class RAID0Storage(StorageSystem):
 
     def __init__(self, initial_content: np.ndarray, ndisks: int = 4,
                  chunk_blocks: int = 16,
-                 hdd_spec: HDDSpec = HDDSpec()) -> None:
+                 hdd_spec: Optional[HDDSpec] = None) -> None:
         capacity_blocks = initial_content.shape[0]
         super().__init__("raid0", capacity_blocks)
         self.backing = BackingStore(initial_content)
-        self.raid = RAID0Array(capacity_blocks, ndisks=ndisks,
-                               chunk_blocks=chunk_blocks, hdd_spec=hdd_spec)
+        self.raid = RAID0Array(
+            capacity_blocks, ndisks=ndisks, chunk_blocks=chunk_blocks,
+            hdd_spec=hdd_spec if hdd_spec is not None else HDDSpec())
 
     def devices(self) -> Iterable:
         # Expose member disks (not the array wrapper) so energy accounting

@@ -40,6 +40,7 @@ COMMAND_DOCS = {
     "bench": "docs/OBSERVABILITY.md",
     "chaos": "docs/RELIABILITY.md",
     "ledger": "docs/LEDGER.md",
+    "explain": "docs/OBSERVABILITY.md",
 }
 
 #: ``repro ledger`` subcommands (doc-parity tested against the table
@@ -162,6 +163,11 @@ def _build_parser() -> argparse.ArgumentParser:
     monitor.add_argument("--max-windows", type=int, default=256,
                          help="series store capacity; beyond it adjacent "
                               "windows merge (downsampling)")
+    monitor.add_argument("--json", action="store_true",
+                         help="emit the per-window report, SLO "
+                              "breaches and consistency verdict as one "
+                              "JSON document on stdout instead of the "
+                              "ASCII report (exports still written)")
     _add_no_ledger(monitor)
 
     loadtest = sub.add_parser(
@@ -227,6 +233,11 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="also write folded flame stacks "
                                "('op;device;phase count_us' lines) for "
                                "flamegraph tooling")
+    critpath.add_argument("--json", action="store_true",
+                          help="emit the attribution table, blame and "
+                               "consistency verdicts as one JSON "
+                               "document on stdout (machine-readable "
+                               "form for tooling and CI)")
 
     bench = sub.add_parser(
         "bench", help="run the canonical benchmark suite, write a "
@@ -311,6 +322,11 @@ def _build_parser() -> argparse.ArgumentParser:
                                  "provenance hints")
     l_diff.add_argument("ref_a", help="seq number or run-id prefix")
     l_diff.add_argument("ref_b", help="seq number or run-id prefix")
+    l_diff.add_argument("--deep", action="store_true",
+                        help="full differential diagnosis via the "
+                             "explain engine (noise-aware significance, "
+                             "attribution deltas, ranked suspects) "
+                             "instead of the field-level diff")
     l_trend = _ledger_sub("trend", "sparkline history of one metric "
                                    "with rolling-window anomaly "
                                    "detection")
@@ -342,6 +358,33 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="drop the volatile sub-object (byte-"
                                "identical across hosts and job "
                                "counts)")
+
+    explain = sub.add_parser(
+        "explain", help="differential diagnosis of two runs: noise-"
+                        "aware metric and attribution diffs, a ranked "
+                        "root-cause suspect list, and a flame-diff "
+                        "export; inputs are two ledger refs or two "
+                        "BENCH_*.json files "
+                        f"(see {COMMAND_DOCS['explain']})")
+    explain.add_argument("a", help="baseline: a ledger seq/run-id "
+                                   "prefix, or a BENCH_*.json path")
+    explain.add_argument("b", help="candidate: a ledger seq/run-id "
+                                   "prefix, or a BENCH_*.json path")
+    explain.add_argument("--case", default=None,
+                         help="with two BENCH files: which suite case "
+                              "to diagnose (default: the single shared "
+                              "case, error when ambiguous)")
+    explain.add_argument("--dir", default=None,
+                         help="ledger directory for ref inputs "
+                              "(default: REPRO_LEDGER_DIR or "
+                              ".repro-ledger)")
+    explain.add_argument("--json", action="store_true",
+                         help="emit the machine-readable report "
+                              "instead of the rendered text")
+    explain.add_argument("--flame-diff", default=None, metavar="PATH",
+                         help="also write the two-column folded flame "
+                              "diff ('op;device;phase a_us b_us') for "
+                              "flamegraph.pl --negate / speedscope")
     return parser
 
 
@@ -547,7 +590,9 @@ def _cmd_trace(workload_name: str, system_name: str, requests: int,
 
 def _cmd_monitor(workload_name: str, system_name: str, requests: int,
                  interval_s: float, out_dir: str,
-                 max_windows: int, ledger=None) -> int:
+                 max_windows: int, ledger=None,
+                 as_json: bool = False) -> int:
+    import json
     import os
 
     from repro.experiments.runner import run_benchmark
@@ -572,11 +617,6 @@ def _cmd_monitor(workload_name: str, system_name: str, requests: int,
     export_series_jsonl(monitor.store, jsonl_path)
     samples = export_prometheus(monitor.registry, prom_path)
 
-    print(f"{workload_name} on {system_name}: {rows} sample windows "
-          f"-> {csv_path}, {jsonl_path}; {samples} final samples "
-          f"-> {prom_path}")
-    print()
-    print(monitor.render_report())
     # Cross-check the windowed series against the independent run-end
     # statistics: summed window deltas must reproduce the request counts
     # StatsCollector saw (the tracer's consistency check, for metrics).
@@ -585,14 +625,51 @@ def _cmd_monitor(workload_name: str, system_name: str, requests: int,
     stats_writes = system.stats.latency("write").count
     series_reads = store.counter_total("requests_read_total")
     series_writes = store.counter_total("requests_write_total")
-    print(f"\nconsistency: series reads {series_reads:.0f} vs stats "
-          f"{stats_reads}, series writes {series_writes:.0f} vs stats "
-          f"{stats_writes}")
-    if (series_reads, series_writes) != (stats_reads, stats_writes):
+    consistent = (series_reads, series_writes) == (stats_reads,
+                                                   stats_writes)
+    if as_json:
+        doc = {
+            "workload": workload_name,
+            "system": system_name,
+            "interval_s": interval_s,
+            "downsample_factor": store.downsample_factor,
+            "windows": [
+                {"window": index,
+                 "t_start_s": window.t_start,
+                 "t_end_s": window.t_end,
+                 "series": store.window_row(index)}
+                for index, window in enumerate(store.windows)],
+            "slo_breaches": [
+                {"rule": breach.rule.name, "window": breach.window,
+                 "t_start_s": breach.t_start, "t_end_s": breach.t_end,
+                 "value": breach.value,
+                 "threshold": breach.rule.threshold}
+                for breach in monitor.breaches],
+            "exports": {"csv": csv_path, "jsonl": jsonl_path,
+                        "prometheus": prom_path},
+            "consistency": {
+                "series_reads": series_reads,
+                "stats_reads": stats_reads,
+                "series_writes": series_writes,
+                "stats_writes": stats_writes,
+                "ok": consistent},
+        }
+        print(json.dumps(doc, sort_keys=True, indent=2))
+    else:
+        print(f"{workload_name} on {system_name}: {rows} sample "
+              f"windows -> {csv_path}, {jsonl_path}; {samples} final "
+              f"samples -> {prom_path}")
+        print()
+        print(monitor.render_report())
+        print(f"\nconsistency: series reads {series_reads:.0f} vs "
+              f"stats {stats_reads}, series writes "
+              f"{series_writes:.0f} vs stats {stats_writes}")
+    if not consistent:
         print("warning: windowed series disagree with run-end "
               "statistics", file=sys.stderr)
         return 1
-    _ledger_note(ledger)
+    if not as_json:
+        _ledger_note(ledger)
     return 0
 
 
@@ -650,7 +727,10 @@ def _cmd_loadtest(workload_name: str, system_name: str, requests: int,
 
 def _cmd_critpath(workload_name: str, system_name: str, requests: int,
                   engine: str, rate: Optional[float], seed: int,
-                  folded: Optional[str]) -> int:
+                  folded: Optional[str],
+                  as_json: bool = False) -> int:
+    import json
+
     from repro.experiments.runner import run_benchmark
     from repro.experiments.systems import make_system
     from repro.sim.load import OpenLoopLoad
@@ -665,34 +745,70 @@ def _cmd_critpath(workload_name: str, system_name: str, requests: int,
     result = run_benchmark(workload, system, engine=engine, load=load,
                            profiler=profiler, tracer=tracer)
     table = profiler.table
-    loaded = f" at {rate:.0f} req/s" if rate is not None else ""
-    print(f"{workload_name} on {system_name} ({engine} engine{loaded}), "
-          f"{table.latency('read').count + table.latency('write').count} "
-          f"measured requests:")
-    print()
-    print(table.render())
+    if not as_json:
+        loaded = f" at {rate:.0f} req/s" if rate is not None else ""
+        print(f"{workload_name} on {system_name} "
+              f"({engine} engine{loaded}), "
+              f"{table.latency('read').count + table.latency('write').count} "
+              f"measured requests:")
+        print()
+        print(table.render())
+        print()
     # Cross-check attribution against the independent latency
     # statistics: per-request (device, phase) sums must reproduce the
     # run's measured per-class means exactly (docs/OBSERVABILITY.md).
     checks = (("read", result.read_mean_us),
               ("write", result.write_mean_us))
-    print()
     consistent = True
+    consistency = []
     for op, stats_mean in checks:
         table_mean = table.mean_us(op)
         ok = abs(table_mean - stats_mean) <= 1e-6 * max(1.0, stats_mean)
         consistent = consistent and ok
-        print(f"consistency: attribution {op} mean {table_mean:.2f} us "
-              f"vs run {op} mean {stats_mean:.2f} us "
-              f"[{'ok' if ok else 'MISMATCH'}]")
+        consistency.append({"op": op, "attribution_mean_us": table_mean,
+                            "run_mean_us": stats_mean, "ok": ok})
+        if not as_json:
+            print(f"consistency: attribution {op} mean "
+                  f"{table_mean:.2f} us vs run {op} mean "
+                  f"{stats_mean:.2f} us [{'ok' if ok else 'MISMATCH'}]")
+    folded_lines = None
     if folded is not None:
-        lines = export_folded(tracer.events, folded)
-        print(f"\nwrote {lines} folded stacks to {folded} "
-              f"(flamegraph.pl / speedscope 'folded' format)")
+        folded_lines = export_folded(tracer.events, folded)
+        if not as_json:
+            print(f"\nwrote {folded_lines} folded stacks to {folded} "
+                  f"(flamegraph.pl / speedscope 'folded' format)")
         if tracer.dropped:
             print(f"warning: ring buffer dropped {tracer.dropped} "
                   f"events; folded stacks cover the surviving tail",
                   file=sys.stderr)
+    if as_json:
+        blames = {}
+        for op in table.ops:
+            blame = table.blame(op)
+            blames[op] = None if blame is None else {
+                "device": blame.device, "phase": blame.phase,
+                "share": blame.share, "tail_n": blame.tail_n,
+                "threshold_us": blame.threshold_us}
+        doc = {
+            "workload": workload_name,
+            "system": system_name,
+            "engine": engine,
+            "rate": rate,
+            "classes": {
+                op: {"n": table.n_requests(op),
+                     "mean_us": table.mean_us(op),
+                     "p99_us": table.latency(op).percentile(99) * 1e6}
+                for op in table.ops},
+            "attribution": table.to_rows(),
+            "blame": blames,
+            "queueing": result.queueing.to_doc()
+            if result.queueing is not None else None,
+            "consistency": consistency,
+            "consistent": consistent,
+            "folded": None if folded is None
+            else {"path": folded, "lines": folded_lines},
+        }
+        print(json.dumps(doc, sort_keys=True, indent=2))
     return 0 if consistent else 1
 
 
@@ -727,7 +843,40 @@ def _cmd_bench(quick: bool, out_dir: str, compare_path: Optional[str],
     deltas = bench.compare(baseline, current)
     print()
     print(bench.render_compare(deltas, verbose=verbose))
-    return 1 if bench.regressions(deltas) else 0
+    regressed = bench.regressions(deltas)
+    if regressed:
+        _emit_explain_reports(baseline, current, regressed, out_dir)
+    return 1 if regressed else 0
+
+
+def _emit_explain_reports(baseline, current, regressed,
+                          out_dir: str) -> None:
+    """One differential-diagnosis report per regressed bench case.
+
+    Written as ``EXPLAIN_<case>.txt``/``.json`` next to the BENCH
+    documents so CI can upload them as artifacts; the top suspects go
+    straight to the job log.
+    """
+    import os
+
+    from repro.analysis.explain import explain_bench_cases
+
+    base_cases = {c["case"]: c for c in baseline["cases"]}
+    cur_cases = {c["case"]: c for c in current["cases"]}
+    os.makedirs(out_dir, exist_ok=True)
+    for name in sorted({d.case for d in regressed}):
+        report = explain_bench_cases(base_cases[name], cur_cases[name],
+                                     label_a=f"baseline {name}",
+                                     label_b=f"current {name}")
+        stem = os.path.join(out_dir, f"EXPLAIN_{name}")
+        with open(stem + ".txt", "w", encoding="utf-8") as handle:
+            handle.write(report.render() + "\n")
+        with open(stem + ".json", "w", encoding="utf-8") as handle:
+            handle.write(report.render_json() + "\n")
+        print(f"\nexplain: {name} -> {stem}.txt")
+        for rank, suspect in enumerate(report.top_suspects(3),
+                                       start=1):
+            print(suspect.render(rank))
 
 
 def _cmd_chaos(quick: bool, requests: int, seed: int,
@@ -779,7 +928,10 @@ def _cmd_ledger(args) -> int:
             print(ledger_module.render_row(store.get(args.ref)))
             return 0
         if args.ledger_command == "diff":
-            print(store.diff(args.ref_a, args.ref_b).render())
+            if args.deep:
+                print(store.explain(args.ref_a, args.ref_b).render())
+            else:
+                print(store.diff(args.ref_a, args.ref_b).render())
             return 0
         if args.ledger_command == "trend":
             filters = ledger_module.parse_filters(args.filter)
@@ -817,6 +969,74 @@ def _cmd_ledger(args) -> int:
         f"unhandled ledger subcommand {args.ledger_command}")
 
 
+def _cmd_explain(args) -> int:
+    import os
+
+    from repro.analysis.explain import export_flame_diff
+
+    is_bench = [os.path.isfile(ref) or ref.endswith(".json")
+                for ref in (args.a, args.b)]
+    if any(is_bench) and not all(is_bench):
+        print("explain: cannot mix a BENCH file with a ledger ref — "
+              "pass two files or two refs", file=sys.stderr)
+        return 2
+    try:
+        if all(is_bench):
+            report = _explain_bench_files(args.a, args.b, args.case)
+        else:
+            from repro import ledger as ledger_module
+
+            root = args.dir or ledger_module.default_root()
+            db_path = os.path.join(root, ledger_module.DB_NAME)
+            if not os.path.exists(db_path):
+                print(f"no ledger at {db_path} — any recorded "
+                      f"invocation (e.g. 'repro bench --quick') "
+                      f"creates one", file=sys.stderr)
+                return 2
+            store = ledger_module.LedgerWriter(root)
+            report = store.explain(args.a, args.b)
+    except (KeyError, ValueError) as error:
+        message = error.args[0] if error.args else error
+        print(message, file=sys.stderr)
+        return 2
+    print(report.render_json() if args.json else report.render())
+    if args.flame_diff is not None:
+        lines = export_flame_diff(report.view_a, report.view_b,
+                                  args.flame_diff)
+        print(f"wrote {lines} flame-diff line(s) to {args.flame_diff}",
+              file=sys.stderr)
+    return 0
+
+
+def _explain_bench_files(path_a: str, path_b: str,
+                         case: Optional[str]):
+    """Diagnose one shared case across two BENCH documents."""
+    from repro.analysis.explain import explain_bench_cases
+    from repro.experiments import bench
+
+    doc_a = bench.load_bench(path_a)
+    doc_b = bench.load_bench(path_b)
+    cases_a = {c["case"]: c for c in doc_a["cases"]}
+    cases_b = {c["case"]: c for c in doc_b["cases"]}
+    shared = sorted(set(cases_a) & set(cases_b))
+    if not shared:
+        raise ValueError(f"no case shared between {path_a} and "
+                         f"{path_b}")
+    if case is None:
+        if len(shared) > 1:
+            raise ValueError("ambiguous: both documents carry "
+                             f"{len(shared)} shared cases "
+                             f"({', '.join(shared)}) — pick one with "
+                             f"--case")
+        case = shared[0]
+    elif case not in shared:
+        raise ValueError(f"case {case!r} not in both documents — "
+                         f"shared: {', '.join(shared)}")
+    return explain_bench_cases(cases_a[case], cases_b[case],
+                               label_a=f"{path_a}:{case}",
+                               label_b=f"{path_b}:{case}")
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     ledger = None
@@ -847,7 +1067,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "monitor":
         return _cmd_monitor(args.workload, args.system, args.requests,
                             args.interval, args.out_dir,
-                            args.max_windows, ledger=ledger)
+                            args.max_windows, ledger=ledger,
+                            as_json=args.json)
     if args.command == "loadtest":
         return _cmd_loadtest(args.workload, args.system, args.requests,
                              args.points, args.span, args.rates,
@@ -856,7 +1077,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "critpath":
         return _cmd_critpath(args.workload, args.system, args.requests,
                              args.engine, args.rate, args.seed,
-                             args.folded)
+                             args.folded, as_json=args.json)
     if args.command == "bench":
         return _cmd_bench(args.quick, args.out_dir, args.compare,
                           args.against, args.verbose, args.jobs,
@@ -866,6 +1087,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                           args.scenario, args.out, ledger=ledger)
     if args.command == "ledger":
         return _cmd_ledger(args)
+    if args.command == "explain":
+        return _cmd_explain(args)
     raise AssertionError(f"unhandled command {args.command}")
 
 

@@ -34,8 +34,8 @@ class ICASHArray(StorageSystem):
     def __init__(self, initial_content: np.ndarray, n_elements: int = 2,
                  chunk_blocks: int = 64,
                  config: Optional[ICASHConfig] = None,
-                 hdd_spec: HDDSpec = HDDSpec(),
-                 ssd_spec: SSDSpec = SSDSpec()) -> None:
+                 hdd_spec: Optional[HDDSpec] = None,
+                 ssd_spec: Optional[SSDSpec] = None) -> None:
         if n_elements < 1:
             raise ValueError(
                 f"need at least one element, got {n_elements}")

@@ -75,9 +75,12 @@ class ICASHController(StorageSystem):
     """One I-CASH storage element over a logical 4 KB block space."""
 
     def __init__(self, initial_content: np.ndarray,
-                 config: ICASHConfig = ICASHConfig(),
-                 hdd_spec: HDDSpec = HDDSpec(),
-                 ssd_spec: SSDSpec = SSDSpec()) -> None:
+                 config: Optional[ICASHConfig] = None,
+                 hdd_spec: Optional[HDDSpec] = None,
+                 ssd_spec: Optional[SSDSpec] = None) -> None:
+        config = config if config is not None else ICASHConfig()
+        hdd_spec = hdd_spec if hdd_spec is not None else HDDSpec()
+        ssd_spec = ssd_spec if ssd_spec is not None else SSDSpec()
         capacity_blocks = initial_content.shape[0]
         super().__init__("icash", capacity_blocks)
         self.config = config

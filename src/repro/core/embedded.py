@@ -25,6 +25,7 @@ same architecture in different bodies.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
@@ -52,12 +53,14 @@ class EmbeddedICASHController(ICASHController):
     """I-CASH inside the controller board: offloaded, self-contained."""
 
     def __init__(self, initial_content: np.ndarray,
-                 config: ICASHConfig = ICASHConfig(),
-                 embedded: EmbeddedSpec = EmbeddedSpec(),
-                 hdd_spec: HDDSpec = HDDSpec(),
-                 ssd_spec: SSDSpec = SSDSpec()) -> None:
+                 config: Optional[ICASHConfig] = None,
+                 embedded: Optional[EmbeddedSpec] = None,
+                 hdd_spec: Optional[HDDSpec] = None,
+                 ssd_spec: Optional[SSDSpec] = None) -> None:
         from dataclasses import replace
 
+        config = config if config is not None else ICASHConfig()
+        embedded = embedded if embedded is not None else EmbeddedSpec()
         self.embedded = embedded
         #: CPU seconds burned on the embedded core (not the host).
         #: Must exist before the base constructor touches ``cpu_time``.

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.devices.base import Device, DeviceSpec
 from repro.sim.request import BLOCK_SIZE
@@ -63,7 +64,8 @@ class HardDiskDrive(Device):
     """One mechanical disk with head-position tracking."""
 
     def __init__(self, capacity_blocks: int,
-                 spec: HDDSpec = HDDSpec()) -> None:
+                 spec: Optional[HDDSpec] = None) -> None:
+        spec = spec if spec is not None else HDDSpec()
         super().__init__(capacity_blocks, spec.name)
         self.spec = spec
         #: Block address one past the end of the previous request, i.e.

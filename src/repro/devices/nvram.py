@@ -17,6 +17,7 @@ it unchanged — exercised by the ``bench_ablation_log_medium`` ablation.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.devices.base import Device, DeviceSpec
 from repro.sim.request import BLOCK_SIZE
@@ -39,7 +40,8 @@ class NVRAM(Device):
     """Byte-addressable persistent memory with block-interface shims."""
 
     def __init__(self, capacity_blocks: int,
-                 spec: NVRAMSpec = NVRAMSpec()) -> None:
+                 spec: Optional[NVRAMSpec] = None) -> None:
+        spec = spec if spec is not None else NVRAMSpec()
         super().__init__(capacity_blocks, spec.name)
         self.spec = spec
 

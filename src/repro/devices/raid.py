@@ -10,7 +10,7 @@ poorly on small random transaction workloads (Section 5.1, TPC-C).
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.devices.base import Device
 from repro.devices.hdd import HardDiskDrive, HDDSpec
@@ -25,7 +25,7 @@ class RAID0Array(Device):
 
     def __init__(self, capacity_blocks: int, ndisks: int = 4,
                  chunk_blocks: int = 16,
-                 hdd_spec: HDDSpec = HDDSpec()) -> None:
+                 hdd_spec: Optional[HDDSpec] = None) -> None:
         if ndisks < 1:
             raise ValueError(f"need at least one disk, got {ndisks}")
         if chunk_blocks < 1:
@@ -36,8 +36,9 @@ class RAID0Array(Device):
         self.ndisks = ndisks
         self.chunk_blocks = chunk_blocks
         per_disk = -(-capacity_blocks // ndisks) + chunk_blocks
+        spec = hdd_spec if hdd_spec is not None else HDDSpec()
         self.disks: List[HardDiskDrive] = [
-            HardDiskDrive(per_disk, hdd_spec) for _ in range(ndisks)]
+            HardDiskDrive(per_disk, spec) for _ in range(ndisks)]
 
     def _split(self, lba: int, nblocks: int) -> Dict[int, List[tuple]]:
         """Map a logical span to per-disk (physical lba, nblocks) extents."""

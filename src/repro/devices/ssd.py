@@ -105,7 +105,8 @@ class FlashSSD(Device):
     """Page-mapped NAND SSD with greedy, wear-aware garbage collection."""
 
     def __init__(self, capacity_blocks: int,
-                 spec: SSDSpec = SSDSpec()) -> None:
+                 spec: Optional[SSDSpec] = None) -> None:
+        spec = spec if spec is not None else SSDSpec()
         super().__init__(capacity_blocks, spec.name)
         self.spec = spec
         n_logical_flash_blocks = math.ceil(

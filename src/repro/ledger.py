@@ -668,6 +668,15 @@ class LedgerWriter:
     def diff(self, ref_a: str, ref_b: str) -> "RunDiff":
         return diff_rows(self.get(ref_a), self.get(ref_b))
 
+    def explain(self, ref_a: str, ref_b: str):
+        """Deep differential diagnosis of two recorded runs: the
+        :mod:`repro.analysis.explain` engine over both rows' snapshots
+        (``repro ledger diff --deep`` / ``repro explain``).  Returns
+        an :class:`~repro.analysis.explain.ExplainReport`."""
+        from repro.analysis.explain import explain_ledger_rows
+
+        return explain_ledger_rows(self.get(ref_a), self.get(ref_b))
+
     def trend(self, metric: str,
               filters: Optional[Dict[str, object]] = None,
               last: int = 50,

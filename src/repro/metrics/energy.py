@@ -78,7 +78,7 @@ class EnergyReport:
 def measure_energy(system: StorageSystem, wall_time_s: float,
                    app_cpu_s: float,
                    storage_cpu_s: Optional[float] = None,
-                   spec: EnergySpec = EnergySpec()) -> EnergyReport:
+                   spec: Optional[EnergySpec] = None) -> EnergyReport:
     """Activity energy of one completed run on ``system``.
 
     ``wall_time_s`` is the run's total virtual time and ``app_cpu_s`` the
@@ -86,6 +86,8 @@ def measure_energy(system: StorageSystem, wall_time_s: float,
     ``storage_cpu_s`` lets the runner exclude load-phase computation; it
     defaults to the system's cumulative CPU time.
     """
+    if spec is None:
+        spec = EnergySpec()
     if wall_time_s < 0 or app_cpu_s < 0:
         raise ValueError("times cannot be negative")
     if storage_cpu_s is None:

@@ -368,6 +368,25 @@ class QueueingSummary:
                 f"served={s.served}")
         return "\n".join(lines)
 
+    def to_doc(self) -> Dict[str, object]:
+        """JSON-ready form (``repro critpath --json`` and the explain
+        engine's machine output)."""
+        return {
+            "duration_s": self.duration_s,
+            "wait_mean_us": self.wait_mean_us,
+            "wait_p99_us": self.wait_p99_us,
+            "wait_max_us": self.wait_max_us,
+            "bottleneck": self.bottleneck,
+            "stations": {
+                name: {"slots": s.slots, "busy_s": s.busy_s,
+                       "background_s": s.background_s,
+                       "utilization": s.utilization,
+                       "served": s.served,
+                       "mean_depth": s.mean_depth,
+                       "max_depth": s.max_depth}
+                for name, s in sorted(self.stations.items())},
+        }
+
 
 # ---------------------------------------------------------------------------
 # The engine

@@ -1140,3 +1140,43 @@ def _resolved_value(store: SeriesStore, index: int,
                     metric: str) -> Optional[float]:
     key = store.resolve_key(metric)
     return store.window_value(index, key) if key else None
+
+
+# ---------------------------------------------------------------------------
+# Workload fingerprints (ReCA-style characterization)
+# ---------------------------------------------------------------------------
+
+
+#: The ratio components of a window fingerprint, in vector order:
+#: ``(numerator counter, denominator-partner counter)`` — each
+#: dimension is ``num / (num + partner)`` over the window's deltas.
+FINGERPRINT_RATIOS: Tuple[Tuple[str, str], ...] = (
+    ("requests_read_total", "requests_write_total"),
+    ("delta_hits_total", "delta_log_fetches_total"),
+    ("hdd_seek_total", "hdd_sequential_total"),
+)
+
+#: Dimension names matching :data:`FINGERPRINT_RATIOS`.
+FINGERPRINT_DIMENSIONS = ("read_fraction", "delta_hit_ratio",
+                          "seek_ratio")
+
+
+def window_fingerprint(store: SeriesStore,
+                       index: int) -> Tuple[float, ...]:
+    """The window's workload fingerprint: read/write mix, delta-hit
+    ratio and seek locality, each in [0, 1].
+
+    This is the ReCA-style online characterization vector — the same
+    signal an adaptive controller would reconfigure on (ROADMAP), used
+    today by :mod:`repro.analysis.explain` to segment a run into
+    workload phases.  A dimension whose window saw no events reports
+    -1.0 (distinct from any real ratio) so phase segmentation treats
+    "no HDD traffic" differently from "all-sequential HDD traffic".
+    """
+    out: List[float] = []
+    for num_name, partner_name in FINGERPRINT_RATIOS:
+        num = _resolved_delta(store, index, num_name) or 0.0
+        partner = _resolved_delta(store, index, partner_name) or 0.0
+        total = num + partner
+        out.append(num / total if total > 0 else -1.0)
+    return tuple(out)

@@ -518,3 +518,26 @@ def export_folded(events: Iterable[TraceEvent],
         destination.write(f"{key} {value}\n")
         count += 1
     return count
+
+
+def parse_folded(source: Union[str, TextIO, Iterable[str]]
+                 ) -> Dict[str, int]:
+    """Read folded flame stacks back: ``{stack: count_us}``.
+
+    The inverse of :func:`export_folded` (and the single-count half of
+    the flame-diff round trip in :mod:`repro.analysis.explain`).
+    Accepts a path, an open handle, or an iterable of lines; blank
+    lines are skipped, and the count is the text after the last space
+    — stack frames themselves may contain spaces.
+    """
+    if isinstance(source, str):
+        with open(source, "r", encoding="utf-8") as handle:
+            return parse_folded(handle)
+    stacks: Dict[str, int] = {}
+    for line in source:
+        line = line.strip()
+        if not line:
+            continue
+        stack, _sep, count = line.rpartition(" ")
+        stacks[stack] = stacks.get(stack, 0) + int(count)
+    return stacks

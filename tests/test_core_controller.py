@@ -240,7 +240,7 @@ class TestScanIntegration:
         reference/associate structure."""
         dataset = family_dataset()
         controller = ICASHController(dataset, small_config())
-        for i in range(600):
+        for _i in range(600):
             controller.read(int(rng.integers(0, 256)))
         counts = controller.block_kind_counts()
         assert controller.stats.count("scans") >= 5

@@ -81,7 +81,7 @@ class TestGarbageCollection:
     def test_gc_triggers_under_overwrite_pressure(self):
         ssd = small_ssd(capacity_blocks=128, overprovision=0.15)
         # Fill the device, then overwrite it repeatedly.
-        for round_ in range(6):
+        for _round_ in range(6):
             for lba in range(128):
                 ssd.write(lba, 1)
         assert ssd.stats.count("gc_erases") > 0
@@ -89,7 +89,7 @@ class TestGarbageCollection:
 
     def test_gc_never_loses_mappings(self):
         ssd = small_ssd(capacity_blocks=128, overprovision=0.15)
-        for round_ in range(8):
+        for _round_ in range(8):
             for lba in range(128):
                 ssd.write(lba, 1)
         assert len(ssd._map) == 128
@@ -99,7 +99,7 @@ class TestGarbageCollection:
     def test_write_amplification_at_least_one(self):
         ssd = small_ssd(capacity_blocks=128, overprovision=0.15)
         assert ssd.write_amplification == 1.0
-        for round_ in range(8):
+        for _round_ in range(8):
             for lba in range(128):
                 ssd.write(lba, 1)
         assert ssd.write_amplification >= 1.0
@@ -107,7 +107,7 @@ class TestGarbageCollection:
     def test_gc_latency_charged_to_triggering_write(self):
         ssd = small_ssd(capacity_blocks=128, overprovision=0.15)
         latencies = []
-        for round_ in range(8):
+        for _round_ in range(8):
             latencies.extend(ssd.write(lba, 1) for lba in range(128))
         # Some writes stalled behind at least one erase.
         assert max(latencies) >= ssd.spec.erase_s
@@ -116,7 +116,7 @@ class TestGarbageCollection:
         # Purely sequential overwrite leaves victims fully invalid, so GC
         # relocates (almost) nothing.
         ssd = small_ssd(capacity_blocks=128, overprovision=0.15)
-        for round_ in range(10):
+        for _round_ in range(10):
             for lba in range(128):
                 ssd.write(lba, 1)
         assert ssd.write_amplification < 1.3
@@ -125,7 +125,7 @@ class TestGarbageCollection:
 class TestWearLeveling:
     def test_erase_counts_reported_per_block(self):
         ssd = small_ssd(capacity_blocks=64, overprovision=0.2)
-        for round_ in range(10):
+        for _round_ in range(10):
             for lba in range(64):
                 ssd.write(lba, 1)
         counts = ssd.erase_counts()
@@ -135,7 +135,7 @@ class TestWearLeveling:
     def test_wear_spread_stays_bounded(self):
         # Static wear leveling should keep max-min spread near wear_delta.
         ssd = small_ssd(capacity_blocks=64, overprovision=0.2, wear_delta=4)
-        for round_ in range(60):
+        for _round_ in range(60):
             for lba in range(64):
                 ssd.write(lba, 1)
         counts = [c for c in ssd.erase_counts()]

@@ -119,10 +119,10 @@ class TestWearModel:
         """The paper's Table 6 argument: fewer SSD writes, longer life."""
         light = FlashSSD(64, SSDSpec(pages_per_block=8, overprovision=0.15))
         heavy = FlashSSD(64, SSDSpec(pages_per_block=8, overprovision=0.15))
-        for round_ in range(3):
+        for _round_ in range(3):
             for lba in range(64):
                 light.write(lba, 1)
-        for round_ in range(30):
+        for _round_ in range(30):
             for lba in range(64):
                 heavy.write(lba, 1)
         light_report = wear_report(light, 100.0)

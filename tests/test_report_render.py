@@ -1,0 +1,117 @@
+"""Golden snapshots for the ASCII renderers.
+
+``repro.experiments.report`` and ``repro.experiments.plotting`` are the
+presentation layer for every figure and bench summary; their output is
+eyeballed against the paper's charts, so a silent formatting drift is a
+real regression even when the numbers underneath are right.  Each test
+pins the exact rendered text for a small fixed input.
+"""
+
+import textwrap
+
+from repro.experiments.plotting import ascii_bars, sparkline
+from repro.experiments.report import (comparison_table, normalize,
+                                      render_shape_check, shape_check,
+                                      shape_score, speedup_summary)
+
+MEASURED = {"icash": 420.0, "fusion-io": 300.0, "raid0": 80.0}
+PAPER = {"icash": 400.0, "fusion-io": 310.0, "raid0": 90.0}
+
+
+def golden(text: str) -> str:
+    return textwrap.dedent(text).strip("\n")
+
+
+class TestComparisonTable:
+    def test_measured_and_paper_columns(self):
+        rendered = comparison_table(
+            "Figure 6: SysBench throughput",
+            ["icash", "fusion-io", "raid0"], MEASURED, paper=PAPER,
+            unit="tx/s")
+        assert rendered == golden("""
+            Figure 6: SysBench throughput
+            =============================
+            system             measured          paper   (higher is better)
+            icash                 420.0          400.0  tx/s
+            fusion-io             300.0          310.0  tx/s
+            raid0                  80.0           90.0  tx/s
+        """)
+
+    def test_measured_only_with_missing_system(self):
+        rendered = comparison_table(
+            "Latency", ["icash", "lru"], {"icash": 1.25},
+            unit="ms", better="lower", precision=2)
+        assert rendered == golden("""
+            Latency
+            =======
+            system             measured   (lower is better)
+            icash                  1.25  ms
+            lru                       -  ms
+        """)
+
+
+class TestShapeCheck:
+    def test_orderings_and_score(self):
+        checks = shape_check(MEASURED, PAPER)
+        assert checks == {"icash>fusion-io": True,
+                          "icash>raid0": True,
+                          "fusion-io>raid0": True}
+        assert shape_score(MEASURED, PAPER) == 1.0
+
+    def test_render_flags_misses(self):
+        flipped = dict(MEASURED, raid0=350.0)
+        rendered = render_shape_check(flipped, PAPER)
+        assert rendered == golden("""
+            pairwise orderings preserved: 2/3
+              MISS fusion-io>raid0
+              ok  icash>fusion-io
+              ok  icash>raid0
+        """)
+
+
+class TestHelpers:
+    def test_normalize(self):
+        normalized = normalize(MEASURED, baseline="fusion-io")
+        assert normalized["fusion-io"] == 1.0
+        assert normalized["icash"] == 1.4
+
+    def test_speedup_both_conventions(self):
+        up = speedup_summary(MEASURED, "raid0")
+        assert up == {"icash_over_raid0": 5.25}
+        down = speedup_summary({"icash": 2.0, "raid0": 5.0}, "raid0",
+                               better="lower")
+        assert down == {"icash_over_raid0": 2.5}
+
+
+class TestAsciiBars:
+    def test_measured_bars(self):
+        rendered = ascii_bars(
+            {"icash": 4.0, "raid0": 1.0}, ["icash", "raid0"],
+            unit="tx/s", width=8)
+        assert rendered == golden("""
+            icash |████████| 4.00 tx/s
+            raid0 |██      | 1.00 tx/s
+        """)
+
+    def test_reference_series_scales_independently(self):
+        rendered = ascii_bars(
+            {"icash": 4.0, "raid0": 2.0}, ["icash", "raid0"],
+            width=4, reference={"icash": 100.0, "raid0": 25.0})
+        assert rendered == golden("""
+            icash |████| 4.00
+            paper |░░░░| 100.00
+            raid0 |██  | 2.00
+            paper |░   | 25.00
+        """)
+
+    def test_empty_and_zero_rows(self):
+        assert ascii_bars({}, ["icash"]) == "(no data)"
+        rendered = ascii_bars({"icash": 0.0}, ["icash"], width=4)
+        assert rendered == "icash |    | 0.00"
+
+
+class TestSparkline:
+    def test_shape(self):
+        assert sparkline([0.0, 1.0, 2.0, 3.0]) == "▁▃▅█"
+        assert sparkline([5.0, 5.0, 5.0]) == "▁▁▁"
+        assert sparkline([]) == ""

@@ -543,6 +543,26 @@ class TestCLI:
         prom = (tmp_path / "metrics.prom").read_text()
         assert "# TYPE requests_read_total counter" in prom
 
+    def test_monitor_json_output(self, tmp_path, capsys):
+        import json
+
+        from repro.cli import main
+
+        code = main(["monitor", "--workload", "sysbench",
+                     "--requests", "400", "--interval", "0.005",
+                     "--out-dir", str(tmp_path), "--json",
+                     "--no-ledger"])
+        out = capsys.readouterr().out
+        assert code == 0
+        doc = json.loads(out)  # pure JSON on stdout, nothing else
+        assert doc["consistency"]["ok"] is True
+        assert doc["windows"], "at least one sampled window"
+        first = doc["windows"][0]
+        assert {"window", "t_start_s", "t_end_s", "series"} <= set(first)
+        # exports are still written in JSON mode
+        assert (tmp_path / "series.csv").exists()
+        assert sorted(doc["exports"]) == ["csv", "jsonl", "prometheus"]
+
     def test_trace_subcommand_reports_drop_counts(self, tmp_path,
                                                   capsys):
         from repro.cli import main

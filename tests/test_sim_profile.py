@@ -390,6 +390,23 @@ class TestCLI:
         assert code == 0
         assert "legacy engine" in capsys.readouterr().out
 
+    def test_critpath_json_output(self, capsys):
+        import json
+
+        from repro.cli import main
+
+        code = main(["critpath", "--workload", "sysbench",
+                     "--requests", "400", "--engine", "event",
+                     "--json"])
+        out = capsys.readouterr().out
+        assert code == 0
+        doc = json.loads(out)  # pure JSON on stdout, nothing else
+        assert doc["consistent"] is True
+        assert doc["queueing"] is not None
+        assert {"op", "device", "phase"} <= set(doc["attribution"][0])
+        for check in doc["consistency"]:
+            assert check["ok"]
+
     def test_bench_subcommand_round_trip(self, tmp_path, capsys):
         from repro.cli import main
 

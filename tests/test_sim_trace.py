@@ -106,7 +106,7 @@ class TestRingBuffer:
 
     def test_unbounded_keeps_everything(self):
         tracer = RingBufferTracer(capacity_events=None)
-        for i in range(1000):
+        for _i in range(1000):
             tracer.span("ssd_read", 1e-6)
         assert len(tracer.events) == 1000
         assert tracer.dropped == 0
