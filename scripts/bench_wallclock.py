@@ -1,59 +1,114 @@
 #!/usr/bin/env python
-"""Median-of-N host wall time for the QUICK bench suite.
+"""Median-of-N host wall time for the QUICK suite or the 10k case.
 
 The BENCH_<n>.json metrics are virtual-clock deterministic, so they
 cannot show whether the harness itself got faster or slower.  This
-script measures that: it runs the QUICK suite N times (default 5) and
-reports per-repeat and median *host* wall seconds — the number
+script measures that: it runs the chosen workload N times (default 5)
+and reports per-repeat and median *host* wall seconds — the numbers
 docs/TUNING.md quotes and the trend `host_wall_s` (schema v2) tracks
 per case.
 
 Usage::
 
     PYTHONPATH=src python scripts/bench_wallclock.py [--repeats N]
-        [--jobs J]
+        [--jobs J] [--tenk] [--json PATH]
 
-The first repeat includes one-time costs (imports, numpy warmup);
-median-of-N is quoted precisely so that outlier doesn't dominate.
+``--tenk`` measures the single 10k-request sysbench/icash event-engine
+run (the serial hot-path yardstick) instead of the QUICK suite.
+``--json`` additionally writes the measurements as a JSON document —
+CI uploads it as a trend-only artifact; it never gates.
+
+The first repeat includes one-time costs (imports, numpy warmup, cold
+memoisation caches); median-of-N is quoted precisely so that outlier
+doesn't dominate.
 """
 
 import argparse
+import json
 import statistics
 import sys
 import time
 
 from repro.experiments.bench import run_suite
+from repro.experiments.parallel import RunSpec, execute_spec
+
+#: The 10k-cell yardstick: the paper's headline workload at full
+#: request count, one serial run, profiler attached (matching the
+#: committed-baseline bench cases' configuration).
+TENK_SPEC = RunSpec(workload="sysbench", system="icash", engine="event",
+                    n_requests=10000, seed=2011, scale=0.5, profile=True)
 
 
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(
-        description="median-of-N host wall time for the QUICK suite")
-    parser.add_argument("--repeats", type=int, default=5,
-                        help="suite repetitions (default 5)")
-    parser.add_argument("--jobs", type=int, default=1,
-                        help="worker processes per suite run "
-                             "(default 1: measure the serial hot path)")
-    args = parser.parse_args(argv)
-    if args.repeats < 1:
-        print("need at least one repeat", file=sys.stderr)
-        return 2
-
+def _measure_suite(repeats: int, jobs: int):
     walls = []
-    for repeat in range(args.repeats):
+    for repeat in range(repeats):
         start = time.perf_counter()
-        document = run_suite(quick=True, jobs=args.jobs)
+        document = run_suite(quick=True, jobs=jobs)
         wall = time.perf_counter() - start
         walls.append(wall)
         per_case = ", ".join(
             f"{case['case']}={case['host_wall_s']:.3f}s"
             for case in document["cases"])
-        print(f"repeat {repeat + 1}/{args.repeats}: {wall:.3f}s "
-              f"({per_case})")
+        print(f"repeat {repeat + 1}/{repeats}: {wall:.3f}s ({per_case})")
+    return walls
+
+
+def _measure_tenk(repeats: int):
+    walls = []
+    for repeat in range(repeats):
+        start = time.perf_counter()
+        execute_spec(TENK_SPEC)
+        wall = time.perf_counter() - start
+        walls.append(wall)
+        print(f"repeat {repeat + 1}/{repeats}: {wall:.3f}s")
+    return walls
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="median-of-N host wall time for the QUICK suite "
+                    "or the 10k sysbench/icash case")
+    parser.add_argument("--repeats", type=int, default=5,
+                        help="repetitions (default 5)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes per suite run "
+                             "(default 1: measure the serial hot path)")
+    parser.add_argument("--tenk", action="store_true",
+                        help="measure the single 10k-request "
+                             "sysbench/icash run instead of the suite")
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="also write the measurements as JSON "
+                             "(trend artifact; never a gate)")
+    args = parser.parse_args(argv)
+    if args.repeats < 1:
+        print("need at least one repeat", file=sys.stderr)
+        return 2
+
+    if args.tenk:
+        subject = "sysbench-icash-event-10k"
+        walls = _measure_tenk(args.repeats)
+    else:
+        subject = f"quick-suite-jobs{args.jobs}"
+        walls = _measure_suite(args.repeats, args.jobs)
 
     median = statistics.median(walls)
-    print(f"\nQUICK suite, jobs={args.jobs}: median of {args.repeats} "
-          f"repeats = {median:.3f}s "
-          f"(min {min(walls):.3f}s, max {max(walls):.3f}s)")
+    print(f"\n{subject}: median of {args.repeats} repeats = "
+          f"{median:.3f}s (min {min(walls):.3f}s, max {max(walls):.3f}s)")
+
+    if args.json:
+        document = {
+            "subject": subject,
+            "jobs": args.jobs if not args.tenk else 1,
+            "repeats": args.repeats,
+            "walls_s": [round(w, 6) for w in walls],
+            "median_s": round(median, 6),
+            "min_s": round(min(walls), 6),
+            "max_s": round(max(walls), 6),
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json}")
     return 0
 
 

@@ -1,0 +1,255 @@
+"""Vectorised batch kernels over stacked 4 KB blocks.
+
+Every kernel here has a scalar twin in :mod:`repro.core.signatures` or
+:mod:`repro.delta.encoder`; the scalar implementations remain the
+semantic reference and the golden-equivalence tests
+(``tests/test_batch_kernels.py``) assert bit-identical results on
+random shapes, non-contiguous views, empty batches and single blocks.
+
+The point of the batch tier is wall-clock only: callers that already
+hold ``N`` blocks in a contiguous ``(N, 4096)`` uint8 array (controller
+ingest, multi-block writes, the similarity scanner's candidate window)
+pay one numpy pass instead of ``N`` python round trips.  Simulated
+metrics are unaffected by construction — the kernels compute the same
+values in the same order the scalar loops would.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.signatures import (
+    _FLAT_SAMPLE_INDEX,
+    SAMPLE_OFFSETS,
+    SUB_BLOCKS,
+    SignatureScheme,
+    _cache_get,
+    _cache_put,
+    _hash_from_bytes,
+)
+from repro.delta.encoder import (
+    DELTA_HEADER_BYTES,
+    MERGE_GAP,
+    RUN_HEADER_BYTES,
+    Delta,
+)
+from repro.sim.request import BLOCK_SIZE
+
+
+def _as_block_matrix(blocks: np.ndarray, name: str) -> np.ndarray:
+    """Validate and normalise an ``(N, 4096)`` uint8 batch."""
+    arr = np.asarray(blocks)
+    if arr.ndim != 2 or arr.shape[1] != BLOCK_SIZE:
+        raise ValueError(
+            f"{name} must be an (N, {BLOCK_SIZE}) array, got shape "
+            f"{arr.shape}")
+    if arr.dtype != np.uint8:
+        raise ValueError(f"{name} must be uint8, got {arr.dtype}")
+    return np.ascontiguousarray(arr)
+
+
+def block_signatures_batch(blocks: np.ndarray,
+                           scheme: SignatureScheme = SignatureScheme.SAMPLED,
+                           ) -> np.ndarray:
+    """Sub-signatures of ``N`` stacked blocks as an ``(N, 8)`` uint8 array.
+
+    The sampled scheme is one fancy-index gather plus a reshape-sum over
+    ``_FLAT_SAMPLE_INDEX`` — uint8 summation wraps at 256, which *is*
+    the paper's mod-256.  The hash scheme has no vector form (SHA-1 per
+    sub-block) and falls back to the scalar reference per row.
+    """
+    arr = _as_block_matrix(blocks, "blocks")
+    n = arr.shape[0]
+    if n == 0:
+        return np.empty((0, SUB_BLOCKS), dtype=np.uint8)
+    if scheme is SignatureScheme.SAMPLED:
+        return (arr[:, _FLAT_SAMPLE_INDEX]
+                .reshape(n, SUB_BLOCKS, len(SAMPLE_OFFSETS))
+                .sum(axis=2, dtype=np.uint8))
+    out = np.empty((n, SUB_BLOCKS), dtype=np.uint8)
+    for i in range(n):
+        out[i] = _hash_from_bytes(arr[i].tobytes())
+    return out
+
+
+def signature_tuples(matrix: np.ndarray) -> List[Tuple[int, ...]]:
+    """Rows of a signature matrix as the scalar API's python tuples."""
+    return [tuple(row) for row in matrix.tolist()]
+
+
+def block_signatures_many(blocks: Sequence[np.ndarray],
+                          scheme: SignatureScheme = SignatureScheme.SAMPLED,
+                          ) -> List[Tuple[int, ...]]:
+    """Cache-aware signatures for a sequence of individual blocks.
+
+    Drop-in for ``[block_signatures(b) for b in blocks]``: each block is
+    looked up in the memoisation LRU first, then the misses are computed
+    in one :func:`block_signatures_batch` pass and inserted.  Duplicate
+    content within one batch is computed once.
+    """
+    results: List[Optional[Tuple[int, ...]]] = [None] * len(blocks)
+    miss_raw: dict = {}
+    miss_slots: List[Tuple[int, Tuple[str, bytes]]] = []
+    for i, block in enumerate(blocks):
+        arr = np.asarray(block)
+        if arr.nbytes != BLOCK_SIZE:
+            raise ValueError(
+                f"signatures are defined on {BLOCK_SIZE}-byte blocks, "
+                f"got {arr.nbytes}")
+        if arr.dtype != np.uint8:
+            # Rare non-byte layouts keep scalar semantics (uncached).
+            from repro.core.signatures import block_signatures
+            results[i] = block_signatures(arr, scheme)
+            continue
+        key = (scheme.value, arr.tobytes())
+        cached = _cache_get(key)
+        if cached is not None:
+            results[i] = cached
+        else:
+            if key not in miss_raw:
+                miss_raw[key] = len(miss_raw)
+            miss_slots.append((i, key))
+    if miss_raw:
+        stacked = np.frombuffer(
+            b"".join(key[1] for key in miss_raw),
+            dtype=np.uint8).reshape(len(miss_raw), BLOCK_SIZE)
+        matrix = block_signatures_batch(stacked, scheme)
+        computed = signature_tuples(matrix)
+        for key, row in zip(miss_raw, computed):
+            _cache_put(key, row)
+        for i, key in miss_slots:
+            results[i] = computed[miss_raw[key]]
+    return results  # type: ignore[return-value]
+
+
+def encode_delta_batch(targets: np.ndarray,
+                       references: np.ndarray) -> List[Delta]:
+    """Delta-encode ``N`` target blocks against ``N`` reference blocks.
+
+    Golden-equivalent to ``[encode_delta(t, r) for t, r in zip(...)]``:
+    one vectorised diff + edge detection + gap merge over the whole
+    batch, then per-run payload slices.  Identical rows produce the
+    empty (identity) delta, exactly as the scalar encoder does.
+    """
+    tgt = _as_block_matrix(targets, "targets")
+    ref = _as_block_matrix(references, "references")
+    if tgt.shape != ref.shape:
+        raise ValueError(
+            f"targets and references must match in shape: "
+            f"{tgt.shape} vs {ref.shape}")
+    n = tgt.shape[0]
+    if n == 0:
+        return []
+    # Edge detection over every row at once: pad each row with a False
+    # column on both sides so run starts/ends appear as transitions.
+    padded = np.zeros((n, BLOCK_SIZE + 2), dtype=bool)
+    np.not_equal(tgt, ref, out=padded[:, 1:-1])
+    edges = padded[:, 1:] != padded[:, :-1]
+    rows, cols = np.nonzero(edges)
+    if rows.size == 0:
+        return [Delta(runs=()) for _ in range(n)]
+    # np.nonzero is row-major, so each row's edge columns alternate
+    # start, end, start, end ...; parity within the row splits them.
+    edge_counts = edges.sum(axis=1)
+    row_first = np.concatenate(([0], np.cumsum(edge_counts)[:-1]))
+    parity = (np.arange(rows.size) - row_first[rows]) % 2
+    starts = cols[parity == 0]
+    ends = cols[parity == 1]
+    run_rows = rows[parity == 0]
+    # Gap merge (scalar rule: gaps <= MERGE_GAP coalesce) across the
+    # whole batch; a row boundary always starts a new merged run.
+    keep = np.empty(starts.size, dtype=bool)
+    keep[0] = True
+    if starts.size > 1:
+        keep[1:] = ((starts[1:] - ends[:-1] > MERGE_GAP)
+                    | (run_rows[1:] != run_rows[:-1]))
+    keep_idx = np.flatnonzero(keep)
+    m_starts = starts[keep_idx]
+    m_ends = ends[np.concatenate((keep_idx[1:] - 1, [starts.size - 1]))]
+    m_rows = run_rows[keep_idx]
+    # Group merged runs back into one Delta per row.
+    boundaries = np.flatnonzero(np.diff(m_rows)) + 1
+    group_starts = np.concatenate(([0], boundaries))
+    group_ends = np.concatenate((boundaries, [m_rows.size]))
+    deltas = [Delta(runs=())] * n
+    starts_list = m_starts.tolist()
+    ends_list = m_ends.tolist()
+    # Vectorised wire headers: the scalar ``Delta._wire`` packs
+    # ``<H{2n}H`` little-endian uint16 pairs (offset, length); a ``<u2``
+    # row-major array produces the identical byte stream, so each
+    # delta's run-header section is one slice of this buffer.
+    header16 = np.empty((m_starts.size, 2), dtype="<u2")
+    header16[:, 0] = m_starts
+    header16[:, 1] = m_ends - m_starts
+    run_headers = header16.tobytes()
+    changed_per_group = np.add.reduceat(m_ends - m_starts,
+                                        group_starts).tolist()
+    for g0, g1, changed in zip(group_starts.tolist(), group_ends.tolist(),
+                               changed_per_group):
+        row = int(m_rows[g0])
+        # One bulk copy to bytes then cheap slicing, matching the scalar
+        # encoder's payload materialisation byte for byte.
+        raw = tgt[row].tobytes()
+        starts_g = starts_list[g0:g1]
+        payloads = [raw[s:e] for s, e in zip(starts_g, ends_list[g0:g1])]
+        delta = Delta(runs=tuple(zip(starts_g, payloads)))
+        # Preinstall both cached_property views: size follows from the
+        # merged run bounds, and the wire is the count prefix + this
+        # group's header slice + the payloads — sparing every consumer
+        # (the accept threshold, the log packer) the lazy recompute.
+        n_runs = g1 - g0
+        delta.__dict__["size_bytes"] = (DELTA_HEADER_BYTES
+                                        + RUN_HEADER_BYTES * n_runs
+                                        + changed)
+        delta.__dict__["_wire"] = (struct.pack("<H", n_runs)
+                                   + run_headers[4 * g0:4 * g1]
+                                   + b"".join(payloads))
+        deltas[row] = delta
+    return deltas
+
+
+def apply_delta_batch(deltas: Sequence[Delta],
+                      references: np.ndarray) -> np.ndarray:
+    """Reconstruct ``N`` blocks from deltas over ``N`` reference blocks.
+
+    Golden-equivalent to ``np.stack([apply_delta(d, r) ...])`` for valid
+    deltas (sorted, non-overlapping runs — the only kind the encoder
+    produces): all patch bytes across the batch are scattered with one
+    fancy assignment into a copy of the reference matrix.
+    """
+    ref = _as_block_matrix(references, "references")
+    if len(deltas) != ref.shape[0]:
+        raise ValueError(
+            f"got {len(deltas)} deltas for {ref.shape[0]} references")
+    out = ref.copy()
+    starts: List[int] = []
+    lengths: List[int] = []
+    payloads: List[bytes] = []
+    for i, delta in enumerate(deltas):
+        base = i * BLOCK_SIZE
+        for offset, payload in delta.runs:
+            end = offset + len(payload)
+            if offset < 0 or end > BLOCK_SIZE:
+                raise ValueError(
+                    f"delta run [{offset}, {end}) outside block "
+                    f"of {BLOCK_SIZE} bytes")
+            if payload:
+                starts.append(base + offset)
+                lengths.append(len(payload))
+                payloads.append(payload)
+    if not starts:
+        return out
+    starts_arr = np.asarray(starts, dtype=np.intp)
+    lengths_arr = np.asarray(lengths, dtype=np.intp)
+    # Same trick as Delta._patch_plan, batched: expand each run into its
+    # absolute byte indices with one repeat + cumulative ramp.
+    total = int(lengths_arr.sum())
+    ramp = np.arange(total, dtype=np.intp)
+    ramp -= np.repeat(np.cumsum(lengths_arr) - lengths_arr, lengths_arr)
+    indices = np.repeat(starts_arr, lengths_arr) + ramp
+    values = np.frombuffer(b"".join(payloads), dtype=np.uint8)
+    out.reshape(-1)[indices] = values
+    return out

@@ -31,6 +31,8 @@ from repro.baselines.base import StorageSystem
 from repro.core.cache import ICashCache
 from repro.core.config import ICASHConfig
 from repro.core.heatmap import Heatmap
+from repro.core.batch import (block_signatures_batch, block_signatures_many,
+                              encode_delta_batch, signature_tuples)
 from repro.core.signatures import block_signatures
 from repro.core.similarity import SimilarityScanner
 from repro.core.virtual_block import BlockKind, VirtualBlock
@@ -73,6 +75,11 @@ class _DeltaMapEntry:
 
 class ICASHController(StorageSystem):
     """One I-CASH storage element over a logical 4 KB block space."""
+
+    #: Chunked ingest sweep with speculative batch delta encoding; the
+    #: scalar sweep stays available (tests flip this per instance) as
+    #: the golden reference the batched path must match bit for bit.
+    use_batch_ingest = True
 
     def __init__(self, initial_content: np.ndarray,
                  config: Optional[ICASHConfig] = None,
@@ -139,6 +146,17 @@ class ICASHController(StorageSystem):
         # own content lives in the ordinary data path (RAM + HDD region).
         self._shadowed_refs: Set[int] = set()
         self._io_count = 0
+
+        # Host-side memo of delta reconstructions: lba -> (delta object,
+        # ref lba, ref content version, read-only content).  Purely a
+        # host-CPU saving — :meth:`_read_via_delta` still charges the
+        # same device latencies and decompress cost on a hit.  A hit
+        # requires the *same* delta object (a rewritten associate gets a
+        # new Delta, so identity is the staleness check) against the
+        # *same* version of the reference bytes; every `_ssd_data`
+        # mutation bumps the version through _note_ssd_content_changed.
+        self._recon_cache: "OrderedDict[int, Tuple[Delta, int, int, np.ndarray]]" = OrderedDict()
+        self._ssd_versions: Dict[int, int] = {}
 
     # ------------------------------------------------------------------
     # StorageSystem interface
@@ -230,8 +248,18 @@ class ICASHController(StorageSystem):
         self._check_span(lba, len(blocks))
         self._request_ssd_reads = 0
         latency = 0.0
+        # Multi-block writes compute all signatures in one cache-aware
+        # batch pass; signatures are a pure function of content, so
+        # hoisting them out of the per-block loop cannot change what any
+        # interleaved scan observes (heatmap recording stays in
+        # _write_one, in block order).
+        signatures = (block_signatures_many(blocks,
+                                            self.config.signature_scheme)
+                      if len(blocks) > 1 else None)
         for offset, content in enumerate(blocks):
-            latency += self._write_one(lba + offset, content)
+            latency += self._write_one(
+                lba + offset, content,
+                signatures[offset] if signatures else None)
             self._after_io()
         return latency
 
@@ -258,32 +286,20 @@ class ICASHController(StorageSystem):
         config = self.config
         index: Dict[Tuple[int, int], List[int]] = {}
         pending: List[DeltaRecord] = []
-        total = 0.0
-        for lba in range(self.capacity_blocks):
-            total += self.hdd.read(lba, 1)  # sequential sweep
-            content = self.backing.view(lba)
-            signatures = block_signatures(content, config.signature_scheme)
-            self.heatmap.record(signatures)
-            best_lba = self._ingest_best_reference(signatures, index)
-            if best_lba is not None:
-                delta = encode_delta(content, self._ssd_data[best_lba])
-                self.cpu_time += config.compress_s
-                if delta.size_bytes <= config.delta_accept_bytes:
-                    pending.append(DeltaRecord(lba, best_lba, delta))
-                    self._map_delta(lba, best_lba)
-                    continue
-            if self._free_slots:
-                slot = self._acquire_ssd_slot(lba)
-                self._ssd_data[lba] = content.copy()
-                total += self.ssd.write(slot, 1)
-                vb = self._install_virtual_block(lba, BlockKind.REFERENCE,
-                                                 ssd_slot=slot)
-                vb.signatures = signatures
-                self.scanner.note_reference(vb)
-                for row, value in enumerate(signatures):
-                    index.setdefault((row, value), []).append(lba)
-                self.stats.bump("ingest_references")
-            # else: stays independent on the HDD data region.
+        # Batch tier: one vectorised signature pass + one heatmap scatter
+        # over the whole backing store.  Equivalent to the per-block
+        # scalar calls — nothing below reads the heatmap mid-sweep, and
+        # counter increments commute — but ~N python round trips cheaper.
+        sig_matrix = block_signatures_batch(
+            self.backing.view_all(), config.signature_scheme)
+        all_signatures = signature_tuples(sig_matrix)
+        self.heatmap.record_batch(sig_matrix)
+        if self.use_batch_ingest:
+            total = self._ingest_sweep_batched(all_signatures, index,
+                                               pending)
+        else:
+            total = self._ingest_sweep_scalar(all_signatures, index,
+                                              pending)
         if pending:
             total += self._append_to_log(pending, relogging=False)
             self.stats.bump("ingest_deltas", len(pending))
@@ -317,6 +333,157 @@ class ICASHController(StorageSystem):
         if tallies[best] < self.config.min_signature_match:
             return None
         return best
+
+    def _ingest_promote(self, lba: int, content: np.ndarray,
+                        signatures: Tuple[int, ...],
+                        index: Dict[Tuple[int, int], List[int]]
+                        ) -> Optional[float]:
+        """Promote ``lba`` to an SSD reference; None when no slot is free
+        (the block then stays independent on the HDD data region)."""
+        if not self._free_slots:
+            return None
+        slot = self._acquire_ssd_slot(lba)
+        self._ssd_data[lba] = content.copy()
+        self._note_ssd_content_changed(lba)
+        latency = self.ssd.write(slot, 1)
+        vb = self._install_virtual_block(lba, BlockKind.REFERENCE,
+                                         ssd_slot=slot)
+        vb.signatures = signatures
+        self.scanner.note_reference(vb)
+        for row, value in enumerate(signatures):
+            index.setdefault((row, value), []).append(lba)
+        self.stats.bump("ingest_references")
+        return latency
+
+    def _ingest_sweep_scalar(self, all_signatures: List[Tuple[int, ...]],
+                             index: Dict[Tuple[int, int], List[int]],
+                             pending: List[DeltaRecord]) -> float:
+        """Reference scalar sweep: one best-reference lookup and one
+        ``encode_delta`` per block, in LBA order.  Kept as the golden
+        semantics that the batched sweep must reproduce exactly."""
+        config = self.config
+        total = 0.0
+        for lba in range(self.capacity_blocks):
+            total += self.hdd.read(lba, 1)  # sequential sweep
+            content = self.backing.view(lba)
+            signatures = all_signatures[lba]
+            best_lba = self._ingest_best_reference(signatures, index)
+            if best_lba is not None:
+                delta = encode_delta(content, self._ssd_data[best_lba])
+                self.cpu_time += config.compress_s
+                if delta.size_bytes <= config.delta_accept_bytes:
+                    pending.append(DeltaRecord(lba, best_lba, delta))
+                    self._map_delta(lba, best_lba)
+                    continue
+            promoted = self._ingest_promote(lba, content, signatures, index)
+            if promoted is not None:
+                total += promoted
+        return total
+
+    #: Blocks per speculation window of the batched ingest sweep.
+    INGEST_CHUNK = 256
+
+    def _ingest_sweep_batched(self, all_signatures: List[Tuple[int, ...]],
+                              index: Dict[Tuple[int, int], List[int]],
+                              pending: List[DeltaRecord]) -> float:
+        """Chunked sweep with speculative batch delta encoding.
+
+        Equivalence to ``_ingest_sweep_scalar`` rests on three facts:
+
+        * The scalar best pick (``max`` over an insertion-ordered tally
+          dict) equals ``min`` over ``(-count, first_matching_row,
+          ref_lba)``: ties on count resolve to the ref inserted first,
+          insertion order is (first matching row, position in that index
+          cell), and cell lists hold refs in ascending LBA because
+          promotion happens in sweep order.
+        * References are immutable once promoted, so the chunk-start
+          index yields the correct best for every block not beaten by an
+          intra-chunk promotion; those rare blocks fall back to the
+          scalar ``encode_delta`` path.
+        * Device calls (``hdd.read``/``ssd.write``) and the per-block
+          ``cpu_time`` additions run in the same order with the same
+          values, so stateful latency models and float accumulation are
+          bit-identical.
+        """
+        config = self.config
+        min_match = config.min_signature_match
+        view = self.backing.view_all()
+        total = 0.0
+        capacity = self.capacity_blocks
+        for lo in range(0, capacity, self.INGEST_CHUNK):
+            hi = min(lo + self.INGEST_CHUNK, capacity)
+            # Phase A: tallies against the references known at chunk
+            # start.  No device or cpu_time accounting happens here.
+            pre: List[Tuple[int, Optional[Tuple[int, int, int]]]] = []
+            for lba in range(lo, hi):
+                count_map: Dict[int, int] = {}
+                first_map: Dict[int, int] = {}
+                for row, value in enumerate(all_signatures[lba]):
+                    for ref_lba in index.get((row, value), ()):
+                        if ref_lba in count_map:
+                            count_map[ref_lba] += 1
+                        else:
+                            count_map[ref_lba] = 1
+                            first_map[ref_lba] = row
+                best_key = None
+                for ref_lba, count in count_map.items():
+                    key = (-count, first_map[ref_lba], ref_lba)
+                    if best_key is None or key < best_key:
+                        best_key = key
+                pre.append((len(count_map), best_key))
+            # Speculative batch encode against each block's chunk-start
+            # best.  Wasted only for blocks an intra-chunk promotion
+            # later outranks.
+            spec_deltas: Dict[int, Delta] = {}
+            spec_rows = [i for i, (_n, key) in enumerate(pre)
+                         if key is not None and -key[0] >= min_match]
+            if spec_rows:
+                targets = view[lo:hi][spec_rows]
+                refs = np.stack([self._ssd_data[pre[i][1][2]]
+                                 for i in spec_rows])
+                for i, delta in zip(spec_rows,
+                                    encode_delta_batch(targets, refs)):
+                    spec_deltas[i] = delta
+            # Phase B: the sequential decision loop, in LBA order.
+            intra: List[Tuple[int, Tuple[int, ...]]] = []
+            for i, lba in enumerate(range(lo, hi)):
+                total += self.hdd.read(lba, 1)  # sequential sweep
+                content = self.backing.view(lba)
+                signatures = all_signatures[lba]
+                n_tallies, best_key = pre[i]
+                for ref_lba, ref_sigs in intra:
+                    count = 0
+                    first_row = 0
+                    for row in range(len(signatures)):
+                        if signatures[row] == ref_sigs[row]:
+                            if not count:
+                                first_row = row
+                            count += 1
+                    if count:
+                        n_tallies += 1
+                        key = (-count, first_row, ref_lba)
+                        if best_key is None or key < best_key:
+                            best_key = key
+                self.cpu_time += max(1, n_tallies) * config.scan_compare_s
+                best_lba = None
+                if best_key is not None and -best_key[0] >= min_match:
+                    best_lba = best_key[2]
+                if best_lba is not None:
+                    delta = spec_deltas.get(i)
+                    if delta is None or best_lba != pre[i][1][2]:
+                        delta = encode_delta(content,
+                                             self._ssd_data[best_lba])
+                    self.cpu_time += config.compress_s
+                    if delta.size_bytes <= config.delta_accept_bytes:
+                        pending.append(DeltaRecord(lba, best_lba, delta))
+                        self._map_delta(lba, best_lba)
+                        continue
+                promoted = self._ingest_promote(lba, content, signatures,
+                                                index)
+                if promoted is not None:
+                    total += promoted
+                    intra.append((lba, signatures))
+        return total
 
     # ------------------------------------------------------------------
     # Read path
@@ -430,10 +597,40 @@ class ICASHController(StorageSystem):
             if self._ensure_segment_capacity(vb, delta.size_bytes):
                 self.cache.attach_delta(vb, delta)
             self.stats.bump("log_delta_fetches")
-        content = apply_delta(delta, self._ssd_data[ref_lba])
+        content = self._reconstruct(vb.lba, delta, ref_lba)
         latency += self._decompress_cost()
         self.stats.bump("delta_reconstructions")
         return latency, content
+
+    #: Bound on memoised reconstructions (one 4 KB block each).
+    RECON_CACHE_CAPACITY = 2048
+
+    def _reconstruct(self, lba: int, delta: Delta,
+                     ref_lba: int) -> np.ndarray:
+        """Patch ``delta`` onto the reference, memoising the result.
+
+        Re-reading an unchanged associate is the common case on a
+        skewed read stream; the memo returns the prior reconstruction
+        (read-only, like every other read path's view) as long as both
+        the delta object and the reference bytes are unchanged.
+        """
+        version = self._ssd_versions.get(ref_lba, 0)
+        entry = self._recon_cache.get(lba)
+        if entry is not None and entry[0] is delta \
+                and entry[1] == ref_lba and entry[2] == version:
+            self._recon_cache.move_to_end(lba)
+            self.stats.bump("recon_cache_hits")
+            return entry[3]
+        content = apply_delta(delta, self._ssd_data[ref_lba])
+        content.flags.writeable = False
+        self._recon_cache[lba] = (delta, ref_lba, version, content)
+        if len(self._recon_cache) > self.RECON_CACHE_CAPACITY:
+            self._recon_cache.popitem(last=False)
+        return content
+
+    def _note_ssd_content_changed(self, lba: int) -> None:
+        """Invalidate memoised reconstructions built on ``lba``'s bytes."""
+        self._ssd_versions[lba] = self._ssd_versions.get(lba, 0) + 1
 
     #: Segment-pool headroom a log fetch evicts for, as a multiple of a
     #: typical delta block's worth of records — the mechanical read is
@@ -497,8 +694,11 @@ class ICASHController(StorageSystem):
     # Write path
     # ------------------------------------------------------------------
 
-    def _write_one(self, lba: int, content: np.ndarray) -> float:
-        signatures = block_signatures(content, self.config.signature_scheme)
+    def _write_one(self, lba: int, content: np.ndarray,
+                   signatures: Optional[Tuple[int, ...]] = None) -> float:
+        if signatures is None:
+            signatures = block_signatures(content,
+                                          self.config.signature_scheme)
         self.heatmap.record(signatures)
         vb = self.cache.get(lba)
         tracer = self.tracer
@@ -683,6 +883,7 @@ class ICASHController(StorageSystem):
         vb.ssd_slot = slot
         self._spilled.add(vb.lba)
         self._ssd_data[vb.lba] = content.copy()
+        self._note_ssd_content_changed(vb.lba)
         self.stats.bump("delta_spills")
         return self._ssd_write(vb.lba, content)
 
@@ -913,6 +1114,7 @@ class ICASHController(StorageSystem):
                 self.scanner.note_retired(vb.lba)
                 return
             self._ssd_data[vb.lba] = content
+            self._note_ssd_content_changed(vb.lba)
             self.background_time += self._ssd_write(vb.lba, content)
         if vb.data_dirty or was_spilled:
             # Keep the HDD region consistent with the promoted copy so a
@@ -1086,7 +1288,8 @@ class ICASHController(StorageSystem):
             return
         self.ssd.trim(slot, 1)
         self._free_slots.append(slot)
-        self._ssd_data.pop(lba, None)
+        if self._ssd_data.pop(lba, None) is not None:
+            self._note_ssd_content_changed(lba)
         self._spilled.discard(lba)
 
     def _ssd_read_latency(self, lba: int) -> float:
@@ -1098,6 +1301,7 @@ class ICASHController(StorageSystem):
 
     def _ssd_write(self, lba: int, content: np.ndarray) -> float:
         self._ssd_data[lba] = content.copy()
+        self._note_ssd_content_changed(lba)
         return self.ssd.write(self._slot_of[lba], 1)
 
     def _bump_associate_count(self, ref_lba: int, amount: int) -> None:

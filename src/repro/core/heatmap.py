@@ -15,7 +15,7 @@ while the production configuration is 8 x 256.
 
 from __future__ import annotations
 
-from typing import Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 import numpy as np
 
@@ -35,6 +35,12 @@ class Heatmap:
         self._counts = np.zeros((rows, values), dtype=np.int64)
         self._rows_index = np.arange(rows)
         self.total_accesses = 0
+        # Per-access increments are buffered and scattered lazily:
+        # counter increments commute, so any reader that flushes first
+        # observes exactly the state N eager updates would have built,
+        # while the hot path pays a list append instead of a numpy
+        # fancy-index round trip per IO.
+        self._pending: List[Tuple[int, ...]] = []
 
     def _check(self, signatures: Sequence[int]) -> None:
         if len(signatures) != self.rows:
@@ -48,8 +54,42 @@ class Heatmap:
     def record(self, signatures: Sequence[int]) -> None:
         """Register one access of a block with the given sub-signatures."""
         self._check(signatures)
-        self._counts[self._rows_index, list(signatures)] += 1
+        self._pending.append(tuple(signatures))
         self.total_accesses += 1
+
+    def _flush(self) -> None:
+        if not self._pending:
+            return
+        sig = np.asarray(self._pending, dtype=np.intp)
+        np.add.at(self._counts, (self._rows_index, sig), 1)
+        self._pending.clear()
+
+    def _check_matrix(self, matrix: np.ndarray) -> np.ndarray:
+        sig = np.asarray(matrix)
+        if sig.ndim != 2 or sig.shape[1] != self.rows:
+            raise ValueError(
+                f"expected an (N, {self.rows}) signature matrix, "
+                f"got shape {sig.shape}")
+        if sig.size and (int(sig.min()) < 0 or int(sig.max()) >= self.values):
+            raise ValueError(
+                f"sub-signature outside [0, {self.values})")
+        return sig
+
+    def record_batch(self, matrix: np.ndarray) -> None:
+        """Register one access per row of an ``(N, rows)`` signature matrix.
+
+        Exactly equivalent to ``N`` :meth:`record` calls in any order —
+        counter increments commute — but one ``np.add.at`` scatter.
+        """
+        sig = self._check_matrix(matrix)
+        np.add.at(self._counts, (self._rows_index, sig), 1)
+        self.total_accesses += sig.shape[0]
+
+    def popularity_batch(self, matrix: np.ndarray) -> np.ndarray:
+        """Per-row :meth:`popularity` of a signature matrix (int64)."""
+        sig = self._check_matrix(matrix)
+        self._flush()
+        return self._counts[self._rows_index, sig].sum(axis=1)
 
     def popularity(self, signatures: Sequence[int]) -> int:
         """Block popularity: sum of its sub-signature popularity values.
@@ -59,10 +99,12 @@ class Heatmap:
         anchor for the working set.
         """
         self._check(signatures)
+        self._flush()
         return int(self._counts[self._rows_index, list(signatures)].sum())
 
     def row(self, index: int) -> Tuple[int, ...]:
         """One row of popularity counters (used by tests and reports)."""
+        self._flush()
         return tuple(int(v) for v in self._counts[index])
 
     def decay(self, factor: float = 0.5) -> None:
@@ -75,9 +117,11 @@ class Heatmap:
         """
         if not 0.0 <= factor <= 1.0:
             raise ValueError(f"decay factor must be in [0, 1], got {factor}")
+        self._flush()  # buffered accesses precede the aging event
         self._counts = (self._counts * factor).astype(np.int64)
 
     def reset(self) -> None:
+        self._pending.clear()
         self._counts.fill(0)
         self.total_accesses = 0
 

@@ -66,7 +66,17 @@ class SignatureScheme(enum.Enum):
 
 _signature_cache: "OrderedDict[Tuple[str, bytes], Tuple[int, ...]]" = \
     OrderedDict()
-_cache_counters = {"hits": 0, "misses": 0}
+_cache_counters = {"hits": 0, "misses": 0, "evictions": 0, "size_bytes": 0}
+
+#: Per-entry key overhead beyond the 4 KB content copy: the scheme tag
+#: and the memoised 8-tuple.  Small but honest — the point of
+#: ``size_bytes`` is that each entry costs a full content copy, not just
+#: a digest.
+_CACHE_ENTRY_OVERHEAD = 64
+
+
+def _cache_entry_bytes(key: Tuple[str, bytes]) -> int:
+    return len(key[1]) + _CACHE_ENTRY_OVERHEAD
 
 
 def clear_signature_cache() -> None:
@@ -74,13 +84,46 @@ def clear_signature_cache() -> None:
     _signature_cache.clear()
     _cache_counters["hits"] = 0
     _cache_counters["misses"] = 0
+    _cache_counters["evictions"] = 0
+    _cache_counters["size_bytes"] = 0
 
 
 def signature_cache_stats() -> Dict[str, int]:
-    """Hit/miss/size counters of the memoisation layer."""
+    """Hit/miss/size counters of the memoisation layer.
+
+    ``size_bytes`` accounts for the content-copy keys (each entry pins a
+    full 4 KB ``tobytes()`` copy plus bookkeeping), and ``evictions``
+    counts LRU pop-outs — together they make cache pressure visible in
+    ``repro critpath --json``.
+    """
     return {"hits": _cache_counters["hits"],
             "misses": _cache_counters["misses"],
-            "size": len(_signature_cache)}
+            "size": len(_signature_cache),
+            "size_bytes": _cache_counters["size_bytes"],
+            "evictions": _cache_counters["evictions"]}
+
+
+def _cache_get(key: Tuple[str, bytes]):
+    """LRU lookup with hit/miss accounting (shared with the batch path)."""
+    cached = _signature_cache.get(key)
+    if cached is not None:
+        _signature_cache.move_to_end(key)
+        _cache_counters["hits"] += 1
+        return cached
+    _cache_counters["misses"] += 1
+    return None
+
+
+def _cache_put(key: Tuple[str, bytes],
+               signatures: Tuple[int, ...]) -> None:
+    """Insert one memoised signature, evicting LRU past capacity."""
+    if key not in _signature_cache:
+        _cache_counters["size_bytes"] += _cache_entry_bytes(key)
+    _signature_cache[key] = signatures
+    if len(_signature_cache) > SIGNATURE_CACHE_CAPACITY:
+        evicted_key, _ = _signature_cache.popitem(last=False)
+        _cache_counters["evictions"] += 1
+        _cache_counters["size_bytes"] -= _cache_entry_bytes(evicted_key)
 
 
 def block_signatures(block: np.ndarray,
@@ -99,19 +142,14 @@ def block_signatures(block: np.ndarray,
         return _hash_signatures(block)
     raw = block.tobytes()
     key = (scheme.value, raw)
-    cached = _signature_cache.get(key)
+    cached = _cache_get(key)
     if cached is not None:
-        _signature_cache.move_to_end(key)
-        _cache_counters["hits"] += 1
         return cached
-    _cache_counters["misses"] += 1
     if scheme is SignatureScheme.SAMPLED:
         signatures = _sampled_from_bytes(raw)
     else:
         signatures = _hash_from_bytes(raw)
-    _signature_cache[key] = signatures
-    if len(_signature_cache) > SIGNATURE_CACHE_CAPACITY:
-        _signature_cache.popitem(last=False)
+    _cache_put(key, signatures)
     return signatures
 
 

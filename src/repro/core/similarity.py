@@ -88,6 +88,57 @@ class SignatureIndex:
             return
         self.add(vb)
 
+    def match_batch(
+        self, cand_sigs: np.ndarray, rank_of: Dict[int, int],
+    ) -> List[Tuple[Optional[Tuple[int, int, int, VirtualBlock]], int]]:
+        """Best indexed reference per candidate row, in one vectorised pass.
+
+        ``cand_sigs`` is an ``(N, SUB_BLOCKS)`` integer matrix;
+        ``rank_of`` maps reference LBAs to their popularity rank (stale
+        index entries absent from it are ignored, exactly as the scalar
+        tally loop does).  Each result slot is ``(count, first_row,
+        rank, ref)`` for the reference minimising ``(-count, first_row,
+        rank)`` — the scalar tie-break — plus ``tallies``, the number of
+        references sharing at least one sub-signature (the scalar
+        comparison count).  Slots with no match are ``None``.
+
+        Returns a list of ``(best_or_none, tallies)`` pairs.
+        """
+        n = int(cand_sigs.shape[0]) if cand_sigs.ndim == 2 else 0
+        ordered = sorted(
+            (rank, lba) for lba, rank in rank_of.items()
+            if lba in self._entries)
+        if n == 0 or not ordered:
+            return [(None, 0)] * n
+        ranks = np.asarray([rank for rank, _ in ordered], dtype=np.int64)
+        ref_vbs = [self._entries[lba][0] for _, lba in ordered]
+        ref_sigs = np.asarray(
+            [self._entries[lba][1] for _, lba in ordered], dtype=np.int64)
+        eq = cand_sigs[:, None, :] == ref_sigs[None, :, :]
+        counts = eq.sum(axis=2)
+        matched = counts > 0
+        tallies = matched.sum(axis=1)
+        first_row = np.argmax(eq, axis=2)
+        sub = ref_sigs.shape[1]
+        # Composite minimisation key reproducing (-count, first_row,
+        # rank): lexicographic because each factor strictly dominates
+        # the next's range.
+        key = (((sub - counts) * sub + first_row)
+               * (int(ranks.max()) + 1) + ranks[None, :])
+        key[~matched] = np.iinfo(np.int64).max
+        best_j = np.argmin(key, axis=1)
+        out: List[Tuple[Optional[Tuple[int, int, int, VirtualBlock]], int]] \
+            = []
+        for i in range(n):
+            j = int(best_j[i])
+            if not matched[i, j]:
+                out.append((None, 0))
+            else:
+                out.append(((int(counts[i, j]), int(first_row[i, j]),
+                             int(ranks[j]), ref_vbs[j]),
+                            int(tallies[i])))
+        return out
+
     def candidates(self, row: int, value: int) -> Sequence[VirtualBlock]:
         """References carrying sub-signature ``value`` at ``row``.
 
@@ -154,7 +205,8 @@ class SimilarityScanner:
     def __init__(self, heatmap: Heatmap, min_signature_match: int,
                  delta_accept_bytes: int, scan_compare_s: float,
                  compress_s: float,
-                 use_incremental_index: bool = True) -> None:
+                 use_incremental_index: bool = True,
+                 use_batch_match: bool = True) -> None:
         self.heatmap = heatmap
         self.min_signature_match = min_signature_match
         self.delta_accept_bytes = delta_accept_bytes
@@ -164,6 +216,10 @@ class SimilarityScanner:
         #: (the direct implementation) — golden-equivalence tests run both
         #: paths and require identical results.
         self.use_incremental_index = use_incremental_index
+        #: Vectorised candidate-vs-index matching (requires the
+        #: incremental index); ``False`` keeps the per-candidate tally
+        #: loop.  All three modes are golden-equivalence tested.
+        self.use_batch_match = use_batch_match
         self.signature_index = SignatureIndex()
 
     def note_reference(self, vb: VirtualBlock) -> None:
@@ -194,8 +250,21 @@ class SimilarityScanner:
         if not candidates:
             return result
 
-        ranked = popularity_ranking(
-            [(vb, vb.signatures) for vb in candidates], self.heatmap)
+        batched = self.use_batch_match and self.use_incremental_index
+        if batched:
+            # Batch tier: one popularity gather over the whole window,
+            # then a stable argsort identical to popularity_ranking's
+            # stable sort on (-popularity).
+            sig_matrix = np.asarray(
+                [vb.signatures for vb in candidates], dtype=np.int64)
+            pops = self.heatmap.popularity_batch(sig_matrix).tolist()
+            order = sorted(range(len(candidates)), key=lambda i: -pops[i])
+            ranked = [(candidates[i], pops[i]) for i in order]
+            ranked_sigs = sig_matrix[order]
+        else:
+            ranked = popularity_ranking(
+                [(vb, vb.signatures) for vb in candidates], self.heatmap)
+            ranked_sigs = None
         result.cpu_time += len(ranked) * self.scan_compare_s
 
         # One pass in popularity order (Table 2's semantics): a block that
@@ -223,9 +292,15 @@ class SimilarityScanner:
             rank_of = {}
             next_rank = 0
             index = self._index_by_signature(refs)
+        if batched:
+            # One vectorised pass against the window's references; blocks
+            # promoted mid-scan are folded in per candidate below.
+            base_match = self.signature_index.match_batch(
+                ranked_sigs, rank_of)
+            promoted: List[Tuple[int, VirtualBlock]] = []
         promotable = min(max_new_references,
                          max(4, int(len(ranked) * REF_CANDIDATE_FRACTION)))
-        for vb, _pop in ranked:
+        for pos, (vb, _pop) in enumerate(ranked):
             if vb.is_reference:
                 continue
             if vb.is_associate and vb.has_delta:
@@ -233,7 +308,10 @@ class SimilarityScanner:
             content = content_fn(vb)
             if content is None:
                 continue
-            if incremental:
+            if batched:
+                best = self._best_reference_batched(
+                    vb, base_match[pos], promoted, result)
+            elif incremental:
                 best = self._best_reference_indexed(vb, rank_of, result)
             else:
                 best = self._best_reference(vb, index, result)
@@ -251,11 +329,59 @@ class SimilarityScanner:
                 if incremental:
                     self.signature_index.add(vb)
                     rank_of[vb.lba] = next_rank
+                    if batched:
+                        promoted.append((next_rank, vb))
                     next_rank += 1
                 else:
                     for row, value in enumerate(vb.signatures):
                         index.setdefault((row, value), []).append(vb)
         return result
+
+    def _best_reference_batched(
+            self, vb: VirtualBlock,
+            base: Tuple[Optional[Tuple[int, int, int, VirtualBlock]], int],
+            promoted: Sequence[Tuple[int, VirtualBlock]],
+            result: ScanResult) -> Optional[VirtualBlock]:
+        """Batched counterpart of :meth:`_best_reference_indexed`.
+
+        ``base`` is this candidate's precomputed slot from
+        :meth:`SignatureIndex.match_batch` (window references only);
+        references promoted mid-scan are tallied here, scalar-style, so
+        the combined selection minimises the same ``(-count, first_row,
+        rank)`` key over the same reference set.
+        """
+        best_entry, tally = base
+        if best_entry is not None:
+            count, first_row, rank, best = best_entry
+            best_key: Optional[Tuple[int, int, int]] = \
+                (-count, first_row, rank)
+        else:
+            best = None
+            best_key = None
+        for rank, ref in promoted:
+            count = 0
+            first_row = -1
+            for row, (a, b) in enumerate(zip(vb.signatures, ref.signatures)):
+                if a == b:
+                    count += 1
+                    if first_row < 0:
+                        first_row = row
+            if count:
+                tally += 1
+                key = (-count, first_row, rank)
+                if best_key is None or key < best_key:
+                    best_key = key
+                    best = ref
+        result.comparisons += tally
+        result.cpu_time += tally * self.scan_compare_s
+        if best is None:
+            return None
+        if -best_key[0] < self.min_signature_match:
+            return None
+        if signature_overlap(vb.signatures, best.signatures) \
+                < self.min_signature_match:
+            return None
+        return best
 
     @staticmethod
     def _index_by_signature(refs: Sequence[VirtualBlock],

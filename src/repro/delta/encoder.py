@@ -91,15 +91,18 @@ class Delta:
     def _patch_plan(self) -> Tuple[np.ndarray, np.ndarray]:
         """Flat ``(indices, values)`` arrays patching a reference in one
         fancy assignment; bounds are validated here, once per delta."""
-        starts = np.empty(len(self.runs), dtype=np.intp)
-        lengths = np.empty(len(self.runs), dtype=np.intp)
-        for i, (offset, payload) in enumerate(self.runs):
-            end = offset + len(payload)
-            if end > BLOCK_SIZE:
-                raise ValueError(
-                    f"delta run [{offset}, {end}) exceeds block size")
-            starts[i] = offset
-            lengths[i] = len(payload)
+        n = len(self.runs)
+        starts = np.fromiter(
+            (offset for offset, _ in self.runs), dtype=np.intp, count=n)
+        lengths = np.fromiter(
+            (len(payload) for _, payload in self.runs),
+            dtype=np.intp, count=n)
+        ends = starts + lengths
+        if n and int(ends.max()) > BLOCK_SIZE:
+            worst = int(np.argmax(ends))
+            raise ValueError(
+                f"delta run [{int(starts[worst])}, {int(ends[worst])}) "
+                f"exceeds block size")
         total = int(lengths.sum())
         run_base = np.concatenate(
             (np.zeros(1, dtype=np.intp), np.cumsum(lengths)[:-1]))
@@ -135,18 +138,21 @@ class Delta:
         return cls(runs=tuple(runs))
 
 
-def _diff_runs(target: np.ndarray, reference: np.ndarray) -> List[Tuple[int, int]]:
-    """Maximal (start, end) runs where the two arrays differ."""
+def _diff_run_arrays(target: np.ndarray,
+                     reference: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Maximal differing runs as parallel ``(starts, ends)`` arrays."""
     mask = target != reference
-    if not mask.any():
-        return []
     # Transitions of the padded mask give run boundaries.
     padded = np.empty(mask.size + 2, dtype=bool)
     padded[0] = padded[-1] = False
     padded[1:-1] = mask
     edges = np.flatnonzero(padded[1:] != padded[:-1])
-    starts = edges[0::2]
-    ends = edges[1::2]
+    return edges[0::2], edges[1::2]
+
+
+def _diff_runs(target: np.ndarray, reference: np.ndarray) -> List[Tuple[int, int]]:
+    """Maximal (start, end) runs where the two arrays differ."""
+    starts, ends = _diff_run_arrays(target, reference)
     return list(zip(starts.tolist(), ends.tolist()))
 
 
@@ -166,18 +172,31 @@ def encode_delta(target: np.ndarray, reference: np.ndarray) -> Delta:
     if not raw_runs:
         return Delta(runs=())
     # Merge runs separated by gaps too small to be worth a run header.
+    # (Kept as a plain loop: typical deltas carry a few dozen runs, and
+    # at that size python beats numpy's per-op overhead — the vectorised
+    # form lives in repro.core.batch.encode_delta_batch, where it is
+    # amortised over a whole block batch.)
     merged: List[Tuple[int, int]] = [raw_runs[0]]
+    changed = raw_runs[0][1] - raw_runs[0][0]
     for start, end in raw_runs[1:]:
         prev_start, prev_end = merged[-1]
         if start - prev_end <= MERGE_GAP:
             merged[-1] = (prev_start, end)
+            changed += end - prev_end
         else:
             merged.append((start, end))
+            changed += end - start
     # One bulk copy to bytes, then cheap slicing — faster than a
     # per-run ``ndarray.tobytes()`` and byte-identical to it.
     raw = target.tobytes()
     runs = tuple((start, raw[start:end]) for start, end in merged)
-    return Delta(runs=runs)
+    delta = Delta(runs=runs)
+    # Preinstall the cached size: it is already known from the merged
+    # run bounds, and ``size_bytes`` is read for every encoded delta
+    # (the scanner's accept threshold), so skip the lazy genexpr.
+    delta.__dict__["size_bytes"] = (
+        DELTA_HEADER_BYTES + RUN_HEADER_BYTES * len(runs) + changed)
+    return delta
 
 
 def apply_delta(delta: Delta, reference: np.ndarray) -> np.ndarray:

@@ -59,6 +59,17 @@ class BackingStore:
                 f"content must be {BLOCK_SIZE} bytes, got {content.nbytes}")
         self._content[lba] = content
 
+    def view_all(self) -> np.ndarray:
+        """A read-only view of the whole content matrix.
+
+        Feeds the batch kernels (one signature pass over every block at
+        ingest); like :meth:`view`, the view must not be retained across
+        mutations.
+        """
+        view = self._content.view()
+        view.flags.writeable = False
+        return view
+
     def view(self, lba: int) -> np.ndarray:
         """A read-only view of one block (fast path for hashing/signatures).
 

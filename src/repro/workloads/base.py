@@ -20,13 +20,55 @@ experiment runner feeds the same trace to five storage architectures.
 from __future__ import annotations
 
 import abc
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Iterator, List, Optional
+from typing import Iterator, List, Optional, Tuple
 
 import numpy as np
 
 from repro.sim.request import BLOCK_SIZE, IORequest, OpType
 from repro.workloads.content import ContentModel
+
+#: Bound on the per-process memoised request-stream LRU (entries).  A
+#: stream is deterministic in the workload's parameters (that is the
+#: restartability contract above), so replaying a memoised stream is
+#: bit-identical to regenerating it; payload arrays are frozen
+#: read-only at creation so no consumer can corrupt a shared stream.
+STREAM_CACHE_CAPACITY = 4
+#: Upper bound on total cached payload bytes; oldest streams are evicted
+#: first once the budget is exceeded.
+STREAM_CACHE_MAX_BYTES = 512 * 1024 * 1024
+
+_stream_cache: "OrderedDict[Tuple, Tuple[List[IORequest], int]]" = \
+    OrderedDict()
+_stream_counters = {"hits": 0, "misses": 0, "bytes": 0}
+
+
+def clear_stream_cache() -> None:
+    """Drop every memoised request stream (tests use this)."""
+    _stream_cache.clear()
+    _stream_counters["hits"] = 0
+    _stream_counters["misses"] = 0
+    _stream_counters["bytes"] = 0
+
+
+def stream_cache_stats() -> dict:
+    return {"hits": _stream_counters["hits"],
+            "misses": _stream_counters["misses"],
+            "size": len(_stream_cache),
+            "bytes": _stream_counters["bytes"]}
+
+
+def _stream_cache_put(key: Tuple, stream: List[IORequest]) -> None:
+    nbytes = sum(request.size_bytes for request in stream
+                 if request.is_write)
+    _stream_cache[key] = (stream, nbytes)
+    _stream_counters["bytes"] += nbytes
+    while _stream_cache and (
+            len(_stream_cache) > STREAM_CACHE_CAPACITY
+            or _stream_counters["bytes"] > STREAM_CACHE_MAX_BYTES):
+        _, (_, evicted_bytes) = _stream_cache.popitem(last=False)
+        _stream_counters["bytes"] -= evicted_bytes
 
 
 @dataclass(frozen=True)
@@ -232,10 +274,60 @@ class SyntheticWorkload(Workload):
     def build_dataset(self) -> np.ndarray:
         return self._initial.copy()
 
+    @property
+    def _stream_key(self) -> Tuple:
+        """Every parameter the generated stream depends on.
+
+        The restartability contract (module docstring) makes the stream a
+        pure function of these values, so two workload instances with the
+        same key replay bit-identical request sequences.
+        """
+        content = self.content
+        return (type(self).__qualname__, self._n_blocks, self.n_requests,
+                self.read_fraction, self.avg_read_blocks,
+                self.avg_write_blocks, self.hot_fraction,
+                self.hot_access_prob, self.zipf_theta, self.seq_run_prob,
+                self.dup_write_fraction, self.rewrite_fraction,
+                self.max_request_blocks, self.vm_id, self.seed,
+                self.content_seed, self.image_divergence,
+                content.n_families, content.mutation_fraction,
+                content.duplicate_fraction, content.family_noise_bytes)
+
     def requests(self) -> Iterator[IORequest]:
+        key = self._stream_key
+        cached = _stream_cache.get(key)
+        if cached is not None:
+            _stream_cache.move_to_end(key)
+            _stream_counters["hits"] += 1
+            return self._replay(cached[0])
+        _stream_counters["misses"] += 1
+        return self._generate(key)
+
+    def _generate(self, key: Tuple) -> Iterator[IORequest]:
         self._reset()
+        stream: List[IORequest] = []
         for _ in range(self.n_requests):
-            yield self._next_request()
+            request = self._next_request()
+            stream.append(request)
+            yield request
+        # Reached only when the consumer drained the whole stream — a
+        # partially consumed generator must never seed the cache.
+        _stream_cache_put(key, stream)
+
+    def _replay(self, stream: List[IORequest]) -> Iterator[IORequest]:
+        """Yield a memoised stream, still applying writes to the shadow.
+
+        The shadow copy is the part of :meth:`requests` with an observable
+        side effect (``self.shadow`` is the verification ground truth), so
+        a replay repeats exactly the writes the generation pass made;
+        everything else (RNG draws, content mutation) is skipped.
+        """
+        self._reset()
+        for request in stream:
+            if request.is_write:
+                for offset, block in enumerate(request.payload):
+                    self._shadow[request.lba + offset] = block
+            yield request
 
     # -- generation ------------------------------------------------------------
 
@@ -275,6 +367,9 @@ class SyntheticWorkload(Workload):
                    for lba in range(start, start + length)]
         for offset, block in enumerate(payload):
             self._shadow[start + offset] = block
+            # Frozen so a memoised stream cannot be corrupted by a
+            # consumer patching payload arrays in place.
+            block.flags.writeable = False
         return IORequest(OpType.WRITE, start, length, payload=payload,
                          vm_id=self.vm_id)
 
